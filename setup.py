@@ -1,0 +1,15 @@
+"""Setuptools shim (the offline environment lacks the ``wheel`` package, so
+legacy ``pip install -e .`` via setup.py is the supported editable install)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of AIRCHITECT v2 (DATE 2025): learning the "
+                 "hardware accelerator design space through unified representations"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

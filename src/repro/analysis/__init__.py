@@ -1,0 +1,14 @@
+"""``repro.analysis`` — dataset / embedding characterisation (Figs. 3-5)."""
+
+from .embedding import EmbeddingStats, alignment, embedding_stats, uniformity
+from .landscape import (LandscapeStats, grid_landscape_stats,
+                        input_sensitivity)
+from .longtail import LongTailStats, gini, label_histogram, longtail_stats
+from .pca import PCA
+
+__all__ = [
+    "PCA",
+    "LandscapeStats", "grid_landscape_stats", "input_sensitivity",
+    "LongTailStats", "gini", "label_histogram", "longtail_stats",
+    "EmbeddingStats", "alignment", "uniformity", "embedding_stats",
+]

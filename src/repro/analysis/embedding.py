@@ -1,0 +1,94 @@
+"""Embedding-space quality metrics (Fig. 5 evidence).
+
+The paper shows contrastive learning produces a *uniform and smooth*
+embedding where same-class samples cluster.  We quantify this with the
+standard alignment/uniformity pair (Wang & Isola 2020) plus a silhouette-
+style cluster separation score, so the Fig. 5 comparison is a number, not
+just a scatter plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmbeddingStats", "embedding_stats", "alignment", "uniformity"]
+
+
+def _normalise(z: np.ndarray) -> np.ndarray:
+    z = np.asarray(z, dtype=np.float64)
+    return z / (np.linalg.norm(z, axis=1, keepdims=True) + 1e-12)
+
+
+def alignment(z: np.ndarray, labels: np.ndarray, max_pairs: int = 20000,
+              rng: np.random.Generator | None = None) -> float:
+    """Mean squared distance between same-class pairs (lower = better)."""
+    rng = rng or np.random.default_rng(0)
+    z = _normalise(z)
+    labels = np.asarray(labels)
+    total, count = 0.0, 0
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        if len(members) < 2:
+            continue
+        budget = max(1, max_pairs // max(len(np.unique(labels)), 1))
+        a = rng.choice(members, size=budget)
+        b = rng.choice(members, size=budget)
+        keep = a != b
+        if not keep.any():
+            continue
+        d = ((z[a[keep]] - z[b[keep]]) ** 2).sum(axis=1)
+        total += d.sum()
+        count += len(d)
+    return float(total / count) if count else 0.0
+
+
+def uniformity(z: np.ndarray, max_points: int = 1024,
+               rng: np.random.Generator | None = None) -> float:
+    """log E[exp(-2 ||zi - zj||^2)] over all pairs (lower = more uniform)."""
+    rng = rng or np.random.default_rng(0)
+    z = _normalise(z)
+    if len(z) > max_points:
+        z = z[rng.choice(len(z), size=max_points, replace=False)]
+    sq = ((z[:, None, :] - z[None, :, :]) ** 2).sum(-1)
+    iu = np.triu_indices(len(z), k=1)
+    return float(np.log(np.exp(-2.0 * sq[iu]).mean() + 1e-12))
+
+
+@dataclass
+class EmbeddingStats:
+    """Embedding-space quality summary."""
+
+    alignment: float          # same-class closeness (lower is better)
+    uniformity: float         # hypersphere coverage (lower is better)
+    separation: float         # inter-class minus intra-class mean distance
+
+
+def embedding_stats(z: np.ndarray, labels: np.ndarray,
+                    rng: np.random.Generator | None = None) -> EmbeddingStats:
+    """Compute alignment, uniformity and a silhouette-style separation."""
+    rng = rng or np.random.default_rng(0)
+    zn = _normalise(z)
+    labels = np.asarray(labels)
+
+    # Class centroids for a cheap separation estimate.
+    classes = np.unique(labels)
+    intra, inter = [], []
+    centroids = {}
+    for label in classes:
+        members = zn[labels == label]
+        centroid = members.mean(axis=0)
+        centroids[label] = centroid
+        if len(members) > 1:
+            intra.append(np.linalg.norm(members - centroid, axis=1).mean())
+    cents = np.stack(list(centroids.values()))
+    if len(cents) > 1:
+        d = np.linalg.norm(cents[:, None, :] - cents[None, :, :], axis=-1)
+        iu = np.triu_indices(len(cents), k=1)
+        inter.append(d[iu].mean())
+
+    sep = float((np.mean(inter) if inter else 0.0) - (np.mean(intra) if intra else 0.0))
+    return EmbeddingStats(alignment=alignment(z, labels, rng=rng),
+                          uniformity=uniformity(z, rng=rng),
+                          separation=sep)

@@ -1,0 +1,73 @@
+"""Performance-landscape characterisation (Fig. 3a / Fig. 4 evidence).
+
+Quantifies the two claims motivating AIRCHITECT v2's design: the latency
+landscape over the design grid is (a) *non-convex* — many strict local
+minima that trap greedy/local search — and (b) *non-uniform* — nearby
+inputs can map to distant optimal configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LandscapeStats", "grid_landscape_stats", "input_sensitivity"]
+
+
+@dataclass
+class LandscapeStats:
+    """Summary statistics of one (n_pe, n_l2) cost grid."""
+
+    num_local_minima: int
+    ruggedness: float        # mean |Δcost| between grid neighbours / mean cost
+    dynamic_range: float     # max / min cost over the grid
+    convexity_gap: float     # best local minimum / global minimum - 1 (worst trap)
+
+
+def _local_minima_mask(grid: np.ndarray) -> np.ndarray:
+    """Strict 4-neighbour local minima of a 2-D cost grid."""
+    padded = np.pad(grid, 1, constant_values=np.inf)
+    centre = padded[1:-1, 1:-1]
+    mask = ((centre < padded[:-2, 1:-1]) & (centre < padded[2:, 1:-1])
+            & (centre < padded[1:-1, :-2]) & (centre < padded[1:-1, 2:]))
+    return mask
+
+
+def grid_landscape_stats(grid: np.ndarray) -> LandscapeStats:
+    """Characterise a single workload's cost grid."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError("expected a 2-D cost grid")
+    mask = _local_minima_mask(grid)
+    minima = grid[mask]
+    global_min = grid.min()
+
+    d_pe = np.abs(np.diff(grid, axis=0)).mean() if grid.shape[0] > 1 else 0.0
+    d_l2 = np.abs(np.diff(grid, axis=1)).mean() if grid.shape[1] > 1 else 0.0
+    ruggedness = float((d_pe + d_l2) / (2.0 * grid.mean()))
+
+    worst_trap = float(minima.max() / global_min - 1.0) if len(minima) else 0.0
+    return LandscapeStats(num_local_minima=int(mask.sum()),
+                          ruggedness=ruggedness,
+                          dynamic_range=float(grid.max() / max(global_min, 1e-12)),
+                          convexity_gap=worst_trap)
+
+
+def input_sensitivity(inputs: np.ndarray, pe_idx: np.ndarray,
+                      l2_idx: np.ndarray, sample: int = 512,
+                      rng: np.random.Generator | None = None) -> float:
+    """Non-uniformity proxy: mean optimal-config distance between the
+    nearest-input pairs of a random sample (0 = perfectly smooth map)."""
+    rng = rng or np.random.default_rng(0)
+    n = len(inputs)
+    take = min(sample, n)
+    pick = rng.choice(n, size=take, replace=False)
+    feats = np.log1p(inputs[pick, :3].astype(np.float64))
+    labels = np.stack([pe_idx[pick], l2_idx[pick]], axis=1).astype(np.float64)
+
+    dists = ((feats[:, None, :] - feats[None, :, :]) ** 2).sum(-1)
+    np.fill_diagonal(dists, np.inf)
+    nearest = dists.argmin(axis=1)
+    gaps = np.abs(labels - labels[nearest]).sum(axis=1)
+    return float(gaps.mean())

@@ -1,0 +1,58 @@
+"""Long-tailed label distribution analysis (Fig. 3b evidence).
+
+The paper observes that a small subset of output design points is favoured
+by the majority of samples while many are sparsely chosen — the class
+imbalance that motivates the contrastive stage-1 objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LongTailStats", "label_histogram", "longtail_stats", "gini"]
+
+
+@dataclass
+class LongTailStats:
+    """Imbalance summary of a label distribution."""
+
+    num_classes_used: int
+    head_share_top5: float        # fraction of samples in the 5 biggest classes
+    coverage_80pct: int           # classes needed to cover 80% of samples
+    gini: float                   # 0 = uniform, -> 1 = fully concentrated
+    imbalance_ratio: float        # largest / smallest non-empty class
+
+
+def label_histogram(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Counts per class (Fig. 3b's y-axis, before log-scaling)."""
+    return np.bincount(np.asarray(labels, dtype=np.int64), minlength=num_classes)
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a count vector (class-imbalance measure)."""
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    n = len(counts)
+    total = counts.sum()
+    if total == 0 or n == 0:
+        return 0.0
+    cumulative = np.cumsum(counts)
+    # Standard formula: 1 - 2 * sum((cum - c/2)) / (n * total)
+    return float(1.0 - 2.0 * (cumulative - counts / 2.0).sum() / (n * total))
+
+
+def longtail_stats(labels: np.ndarray, num_classes: int) -> LongTailStats:
+    """Summarise how long-tailed a label distribution is."""
+    counts = label_histogram(labels, num_classes)
+    nonzero = counts[counts > 0]
+    ordered = np.sort(nonzero)[::-1]
+    total = ordered.sum()
+    top5 = float(ordered[:5].sum() / total) if total else 0.0
+    coverage = int(np.searchsorted(np.cumsum(ordered), 0.8 * total) + 1) if total else 0
+    ratio = float(ordered[0] / ordered[-1]) if len(ordered) else 0.0
+    return LongTailStats(num_classes_used=int(len(nonzero)),
+                         head_share_top5=top5,
+                         coverage_80pct=coverage,
+                         gini=gini(counts),
+                         imbalance_ratio=ratio)

@@ -1,0 +1,49 @@
+"""Principal component analysis (numpy SVD) for the Fig. 3/4/5 projections."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Standard PCA via singular value decomposition.
+
+    Fits on mean-centred data; ``transform`` projects onto the top
+    ``n_components`` principal axes.  Used to project input features
+    (Fig. 3a / Fig. 4) and learned embeddings (Fig. 5) to 2-D.
+    """
+
+    def __init__(self, n_components: int = 2):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("PCA expects a 2-D matrix")
+        if self.n_components > min(x.shape):
+            raise ValueError("n_components exceeds matrix rank bound")
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        self.components_ = vt[:self.n_components]
+        var = s ** 2
+        total = var.sum()
+        self.explained_variance_ratio_ = (var[:self.n_components] / total
+                                          if total > 0 else var[:self.n_components])
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fit before transform")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

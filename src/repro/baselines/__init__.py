@@ -1,0 +1,15 @@
+"""``repro.baselines`` — the learning-based comparators of §IV.
+
+AIRCHITECT v1 (MLP classifier [5]), GANDSE (conditional GAN [16]) and
+VAESA (VAE latent space + BO [11]).
+"""
+
+from .airchitect_v1 import AirchitectV1, V1Config, train_v1
+from .gandse import GANDSE, GANDSEConfig, train_gandse
+from .vaesa import VAESA, VAESAConfig, train_vaesa
+
+__all__ = [
+    "AirchitectV1", "V1Config", "train_v1",
+    "GANDSE", "GANDSEConfig", "train_gandse",
+    "VAESA", "VAESAConfig", "train_vaesa",
+]

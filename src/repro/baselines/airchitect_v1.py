@@ -1,0 +1,157 @@
+"""AIRCHITECT v1 baseline [5]: an MLP recommendation network.
+
+The original AIRCHITECT formulates DSE as *classification*: a shallow MLP
+maps workload features to a probability distribution over encoded design
+choices (one label per design point — 768 classes for the Table-I space).
+The paper attributes v1's weak accuracy (77.60%) to exactly this shallow
+classification-only formulation: overfitting, no treatment of the
+non-uniform landscape or the long-tailed label distribution.
+
+For the Fig. 9 study the same MLP trunk can instead drive two UOV heads
+(``head_style="uov"``), isolating the UOV contribution from the model
+architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..dse import DSEDataset, DSEProblem
+from ..uov import UOVCodec
+
+__all__ = ["V1Config", "AirchitectV1", "train_v1"]
+
+
+@dataclass(frozen=True)
+class V1Config:
+    """AIRCHITECT v1 hyper-parameters (3-layer MLP, as in [5])."""
+
+    hidden_dims: tuple[int, ...] = (256, 256, 128)
+    head_style: str = "joint"      # "joint" (the original) or "uov"
+    num_buckets: int = 16
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.head_style not in ("joint", "uov"):
+            raise ValueError("v1 head_style must be 'joint' or 'uov'")
+
+
+class AirchitectV1(nn.Module):
+    """MLP trunk + classification (or UOV) output head(s)."""
+
+    def __init__(self, config: V1Config, problem: DSEProblem,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.problem = problem
+        in_dim = 3 + problem.bounds.n_dataflows
+
+        layers: list[nn.Module] = []
+        prev = in_dim
+        for width in config.hidden_dims:
+            layers.append(nn.Linear(prev, width, rng))
+            layers.append(nn.ReLU())
+            prev = width
+        self.trunk = nn.Sequential(*layers)
+
+        space = problem.space
+        if config.head_style == "joint":
+            self.pe_head = nn.Linear(prev, space.n_pe * space.n_l2, rng)
+            self.l2_head = None
+        else:
+            self.pe_head = nn.Linear(prev, config.num_buckets, rng)
+            self.l2_head = nn.Linear(prev, config.num_buckets, rng)
+        self.pe_codec = UOVCodec(space.n_pe, config.num_buckets)
+        self.l2_codec = UOVCodec(space.n_l2, config.num_buckets)
+
+    def forward(self, inputs: np.ndarray):
+        feats = self.problem.featurize(inputs)
+        h = self.trunk(nn.Tensor(feats))
+        pe = self.pe_head(h)
+        l2 = self.l2_head(h) if self.l2_head is not None else None
+        return pe, l2
+
+    def head_parameter_count(self) -> int:
+        """Output-head parameters (Fig. 9's model-size axis)."""
+        count = self.pe_head.num_parameters()
+        if self.l2_head is not None:
+            count += self.l2_head.num_parameters()
+        return count
+
+    def predict_indices(self, inputs: np.ndarray,
+                        batch_size: int = 2048) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot inference -> (pe_idx, l2_idx)."""
+        self.eval()
+        inputs = np.atleast_2d(np.asarray(inputs))
+        pe_out = np.empty(len(inputs), dtype=np.int64)
+        l2_out = np.empty(len(inputs), dtype=np.int64)
+        with nn.no_grad():
+            for start in range(0, len(inputs), batch_size):
+                chunk = inputs[start:start + batch_size]
+                pe_logits, l2_logits = self.forward(chunk)
+                sl = slice(start, start + len(chunk))
+                if self.config.head_style == "joint":
+                    flat = pe_logits.numpy().argmax(axis=-1)
+                    pe_out[sl], l2_out[sl] = self.problem.space.unflatten(flat)
+                else:
+                    pe_out[sl] = self.pe_codec.decode_to_choice(
+                        pe_logits.sigmoid().numpy())
+                    l2_out[sl] = self.l2_codec.decode_to_choice(
+                        l2_logits.sigmoid().numpy())
+        return pe_out, l2_out
+
+
+def train_v1(model: AirchitectV1, dataset: DSEDataset,
+             verbose: bool = False) -> dict:
+    """Supervised training of the v1 baseline; returns loss history."""
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed)
+    model.train()
+
+    if cfg.head_style == "joint":
+        targets = dataset.joint_labels(model.problem.space.n_l2)
+        data = nn.ArrayDataset(dataset.inputs, targets)
+    else:
+        data = nn.ArrayDataset(dataset.inputs,
+                               model.pe_codec.encode(dataset.pe_idx),
+                               model.l2_codec.encode(dataset.l2_idx))
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    params = model.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+    scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+    unification = nn.UnificationLoss()
+
+    history = {"loss": []}
+    for epoch in range(cfg.epochs):
+        total, batches = 0.0, 0
+        for batch in loader:
+            if cfg.head_style == "joint":
+                xb, yb = batch
+                pe_logits, _ = model.forward(xb)
+                loss = nn.cross_entropy(pe_logits, yb)
+            else:
+                xb, pe_q, l2_q = batch
+                pe_logits, l2_logits = model.forward(xb)
+                loss = unification(pe_logits, pe_q) + unification(l2_logits, l2_q)
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        scheduler.step()
+        history["loss"].append(total / max(batches, 1))
+        if verbose:
+            print(f"[v1] epoch {epoch + 1}/{cfg.epochs} "
+                  f"loss={history['loss'][-1]:.4f}")
+    model.eval()
+    return history

@@ -1,0 +1,179 @@
+"""VAESA baseline [11]: VAE design-latent space + Bayesian-optimisation search.
+
+VAESA learns a continuous, reconstructible latent space over accelerator
+*configurations*, shaped by a performance predictor, and then runs standard
+optimisation (BO here) in that latent space.  The paper finds VAESA+BO the
+strongest baseline on deployment latency (Fig. 7) but shows its VAE latent
+space converges slower than the contrastive embedding under the same BO
+budget (Fig. 8a).
+
+Implementation (faithful to [11]): an *unconditional* VAE over design
+points — encoder(design) -> (mu, logvar); decoder(z) -> design in [0, 1]^2
+— plus a performance predictor p(z, workload features) -> latency that
+injects semantic structure into the latent space.  The decoder is
+deliberately *not* conditioned on the workload: conditioning would let it
+bypass the latent entirely (posterior collapse), and VAESA's premise is a
+workload-agnostic design manifold searched per workload.  ``search`` runs
+GP/EI BO over the latent box, scoring decoded designs with the true cost
+model (the expensive oracle, exactly like the paper's MAESTRO-in-the-loop
+setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..dse import DSEDataset, DSEProblem, ExhaustiveOracle
+from ..search.bo import BOConfig, BOResult, bayesian_optimization
+
+__all__ = ["VAESAConfig", "VAESA", "train_vaesa"]
+
+
+@dataclass(frozen=True)
+class VAESAConfig:
+    """VAE hyper-parameters."""
+
+    latent_dim: int = 4
+    hidden: int = 128
+    beta: float = 0.02
+    perf_weight: float = 0.5
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+    latent_box: float = 3.0   # BO search box half-width (prior range)
+
+
+class VAESA(nn.Module):
+    """VAE over design points with a latent+workload performance head."""
+
+    def __init__(self, config: VAESAConfig, problem: DSEProblem,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.problem = problem
+        feat_dim = 3 + problem.bounds.n_dataflows
+
+        self.encoder_net = nn.Sequential(
+            nn.Linear(2, config.hidden, rng), nn.ReLU(),
+            nn.Linear(config.hidden, config.hidden, rng), nn.ReLU(),
+        )
+        self.mu_head = nn.Linear(config.hidden, config.latent_dim, rng)
+        self.logvar_head = nn.Linear(config.hidden, config.latent_dim, rng)
+        self.decoder_net = nn.Sequential(
+            nn.Linear(config.latent_dim, config.hidden, rng), nn.ReLU(),
+            nn.Linear(config.hidden, config.hidden, rng), nn.ReLU(),
+            nn.Linear(config.hidden, 2, rng), nn.Sigmoid(),
+        )
+        self.perf_head = nn.Sequential(
+            nn.Linear(config.latent_dim + feat_dim, config.hidden, rng),
+            nn.GELU(),
+            nn.Linear(config.hidden, 1, rng),
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, designs: nn.Tensor):
+        h = self.encoder_net(designs)
+        return self.mu_head(h), self.logvar_head(h)
+
+    def decode(self, z: nn.Tensor) -> nn.Tensor:
+        return self.decoder_net(z)
+
+    def predict_perf(self, z: nn.Tensor, feats: nn.Tensor) -> nn.Tensor:
+        return self.perf_head(nn.concat([z, feats], axis=1)).squeeze(-1)
+
+    # ------------------------------------------------------------------
+    def decode_to_indices(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Latent point(s) -> snapped design-choice indices."""
+        z = np.atleast_2d(np.asarray(z, dtype=np.float64))
+        with nn.no_grad():
+            designs = self.decode(nn.Tensor(z)).numpy()
+        space = self.problem.space
+        pe = np.clip(np.rint(designs[:, 0] * (space.n_pe - 1)), 0, space.n_pe - 1)
+        l2 = np.clip(np.rint(designs[:, 1] * (space.n_l2 - 1)), 0, space.n_l2 - 1)
+        return pe.astype(np.int64), l2.astype(np.int64)
+
+    def search(self, input_tuple: np.ndarray, rng: np.random.Generator,
+               bo_config: BOConfig | None = None,
+               oracle: ExhaustiveOracle | None = None) -> tuple[int, int, BOResult]:
+        """VAESA+BO: optimise the latent space for one workload input.
+
+        The BO objective decodes a latent point to a (snapped) design and
+        returns its true cost-model metric.
+        """
+        self.eval()
+        oracle = oracle or ExhaustiveOracle(self.problem)
+        input_tuple = np.asarray(input_tuple, dtype=np.int64).reshape(1, 4)
+        box = self.config.latent_box
+        bounds = np.array([[-box, box]] * self.config.latent_dim)
+
+        def objective(z: np.ndarray) -> float:
+            pe, l2 = self.decode_to_indices(z[None, :])
+            return float(oracle.cost_at(input_tuple, pe, l2)[0])
+
+        result = bayesian_optimization(objective, bounds, rng, bo_config)
+        pe, l2 = self.decode_to_indices(result.x[None, :])
+        return int(pe[0]), int(l2[0]), result
+
+
+def train_vaesa(model: VAESA, dataset: DSEDataset, verbose: bool = False) -> dict:
+    """Train the VAE (reconstruction + beta-KL + performance regression).
+
+    The dataset's *optimal* designs (plus their workload features for the
+    performance head) define the latent manifold, mirroring VAESA's
+    training on evaluated design points.
+    """
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed)
+    model.train()
+
+    space = model.problem.space
+    designs = np.stack([dataset.pe_idx / max(space.n_pe - 1, 1),
+                        dataset.l2_idx / max(space.n_l2 - 1, 1)], axis=1)
+    perf, _, _ = dataset.perf_targets()
+    data = nn.ArrayDataset(dataset.inputs, designs, perf)
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    params = model.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+
+    history = {"loss": [], "recon": [], "kl": [], "perf": []}
+    for epoch in range(cfg.epochs):
+        sums = {"loss": 0.0, "recon": 0.0, "kl": 0.0, "perf": 0.0}
+        batches = 0
+        for xb, db, pb in loader:
+            feats = nn.Tensor(model.problem.featurize(xb))
+            target = nn.Tensor(db)
+
+            mu, logvar = model.encode(target)
+            eps = nn.Tensor(rng.normal(size=mu.shape))
+            z = mu + (logvar * 0.5).exp() * eps
+
+            recon = model.decode(z)
+            recon_loss = nn.mse_loss(recon, db)
+            kl = (-0.5 * (logvar + 1.0 - mu * mu - logvar.exp())).sum(axis=-1).mean()
+            perf_pred = model.predict_perf(z, feats)
+            perf_loss = nn.mse_loss(perf_pred, pb)
+
+            loss = recon_loss + kl * cfg.beta + perf_loss * cfg.perf_weight
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+
+            sums["loss"] += loss.item()
+            sums["recon"] += recon_loss.item()
+            sums["kl"] += kl.item()
+            sums["perf"] += perf_loss.item()
+            batches += 1
+        for key in history:
+            history[key].append(sums[key] / max(batches, 1))
+        if verbose:
+            print(f"[vaesa] epoch {epoch + 1}/{cfg.epochs} "
+                  f"loss={history['loss'][-1]:.4f}")
+    model.eval()
+    return history

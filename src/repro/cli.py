@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Examples::
+
+    python -m repro table3                 # Table III at the default scale
+    python -m repro fig7 --scale small     # deployment comparison
+    python -m repro all --scale tiny       # every artefact, quickly
+    python -m repro ablations              # extension studies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (SCALES, Workspace, run_fig3, run_fig4, run_fig5,
+                          run_fig7, run_fig8a, run_fig8b, run_fig9,
+                          run_table2, run_table3)
+from .experiments.ablations import (run_deployment_ablation,
+                                    run_metric_ablation,
+                                    run_tolerance_ablation)
+
+_EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig7": run_fig7,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig9": run_fig9,
+    "ablation-deployment": run_deployment_ablation,
+    "ablation-metric": run_metric_ablation,
+    "ablation-tolerance": run_tolerance_ablation,
+}
+
+_NEEDS_WORKSPACE = {name for name in _EXPERIMENTS
+                    if not name.startswith("ablation-")} | {
+                        "ablation-deployment"}
+
+
+def _print_result(name: str, out: dict) -> None:
+    if "table" in out:
+        print(out["table"])
+    elif name == "fig8a":
+        print(f"Fig. 8(a) target: {out['target_model']}")
+        for curve_name, value in out["final"].items():
+            print(f"  {curve_name}: final {value:.3f}x optimum")
+    elif name == "fig4":
+        print(f"Fig. 4: complexity {out['input_space_complexity']:.2e}, "
+              f"{out['num_distinct_buckets']} buckets in use, "
+              f"NN disagreement {out['nn_label_disagreement']:.2f}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate AIRCHITECT v2 paper tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which artefact to regenerate")
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES),
+                        help="experiment scale (default: $REPRO_SCALE or "
+                             "'small')")
+    parser.add_argument("--cache", default=None,
+                        help="training-cache directory (default: "
+                             "$REPRO_CACHE or .repro_cache)")
+    args = parser.parse_args(argv)
+
+    workspace = Workspace(args.cache)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+
+    for name in names:
+        runner = _EXPERIMENTS[name]
+        start = time.time()
+        if name in _NEEDS_WORKSPACE:
+            out = runner(args.scale, workspace)
+        else:
+            out = runner(args.scale)
+        print(f"== {name} ({time.time() - start:.1f}s)")
+        _print_result(name, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Model-level deployment: fold per-layer DSE into one configuration (§III-E).
+
+AIRCHITECT v2 predicts per-layer, so deploying a whole network needs a
+single hardware choice.  The paper gives two methods:
+
+* **Method 1** — for every layer's recommended configuration, estimate the
+  *model-wide* latency (all layers, MAESTRO-evaluated) and pick the
+  configuration with the minimum.
+* **Method 2** — find the bottleneck layer (largest latency on its own
+  recommended configuration) and adopt its configuration.
+
+Both apply to any per-layer DSE technique, which is how the Fig. 7
+comparison puts every baseline on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dse import DSEProblem
+from ..maestro import CostModel, Dataflow
+from ..workloads import ModelWorkload
+
+__all__ = ["DeploymentResult", "DeploymentEvaluator"]
+
+
+@dataclass
+class DeploymentResult:
+    """Chosen configuration and its model-level cost."""
+
+    pe_idx: int
+    l2_idx: int
+    num_pes: int
+    l2_kb: int
+    total_latency: float
+    per_layer_latency: np.ndarray
+
+
+class DeploymentEvaluator:
+    """Evaluates model-level latency of configurations and applies
+    deployment Methods 1 / 2."""
+
+    def __init__(self, problem: DSEProblem, cost_model: CostModel | None = None,
+                 dataflow: int | str | Dataflow | None = None):
+        """``dataflow=None`` lets every layer use its best dataflow on the
+        candidate hardware (flexible-mapping accelerator, MAESTRO-style);
+        passing a specific dataflow pins the mapping."""
+        self.problem = problem
+        self.cost_model = cost_model or CostModel()
+        self.dataflow = None if dataflow is None else Dataflow.from_any(dataflow)
+
+    # ------------------------------------------------------------------
+    def layer_inputs(self, workload: ModelWorkload,
+                     dataflow: int = 0) -> np.ndarray:
+        """Per-unique-layer input tuples (clamped to Table-I feature ranges)."""
+        layers = workload.layer_array()
+        m, n, k = self.problem.clamp_inputs(layers[:, 0], layers[:, 1],
+                                            layers[:, 2])
+        df = np.full(len(layers), int(dataflow), dtype=np.int64)
+        return np.stack([m, n, k, df], axis=1)
+
+    def layer_latencies(self, workload: ModelWorkload, num_pes: int,
+                        l2_kb: int) -> np.ndarray:
+        """Latency of every unique layer on the given hardware (true dims,
+        not clamped — the feature clamp only affects model inputs)."""
+        layers = workload.layer_array()
+        if self.dataflow is not None:
+            result = self.cost_model.evaluate(
+                layers[:, 0], layers[:, 1], layers[:, 2],
+                self.dataflow, num_pes, l2_kb)
+            return result.latency_cycles
+        per_df = [self.cost_model.evaluate(layers[:, 0], layers[:, 1],
+                                           layers[:, 2], df, num_pes, l2_kb)
+                  .latency_cycles for df in Dataflow]
+        return np.min(np.stack(per_df), axis=0)
+
+    def model_latency(self, workload: ModelWorkload, num_pes: int,
+                      l2_kb: int) -> float:
+        """Count-weighted total latency of the workload on one configuration."""
+        lat = self.layer_latencies(workload, num_pes, l2_kb)
+        return float((lat * workload.count_array()).sum())
+
+    # ------------------------------------------------------------------
+    def method1(self, workload: ModelWorkload, pe_idx: np.ndarray,
+                l2_idx: np.ndarray) -> DeploymentResult:
+        """Paper Method 1: evaluate each candidate on the whole model."""
+        pe_idx = np.asarray(pe_idx)
+        l2_idx = np.asarray(l2_idx)
+        candidates = {(int(p), int(l)) for p, l in zip(pe_idx, l2_idx)}
+        space = self.problem.space
+
+        best: DeploymentResult | None = None
+        for p, l in sorted(candidates):
+            pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
+            lat = self.layer_latencies(workload, pes, l2)
+            total = float((lat * workload.count_array()).sum())
+            if best is None or total < best.total_latency:
+                best = DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes,
+                                        l2_kb=l2, total_latency=total,
+                                        per_layer_latency=lat)
+        return best
+
+    def method2(self, workload: ModelWorkload, pe_idx: np.ndarray,
+                l2_idx: np.ndarray) -> DeploymentResult:
+        """Paper Method 2: adopt the bottleneck layer's configuration."""
+        pe_idx = np.asarray(pe_idx)
+        l2_idx = np.asarray(l2_idx)
+        space = self.problem.space
+        counts = workload.count_array()
+
+        # Latency of each layer on its own recommendation (count-weighted).
+        own = np.empty(len(pe_idx))
+        for i, (p, l) in enumerate(zip(pe_idx, l2_idx)):
+            layer = workload.layers[i]
+            pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
+            if self.dataflow is not None:
+                lat = float(self.cost_model.evaluate(
+                    layer.m, layer.n, layer.k, self.dataflow, pes, l2)
+                    .latency_cycles)
+            else:
+                lat = min(float(self.cost_model.evaluate(
+                    layer.m, layer.n, layer.k, df, pes, l2).latency_cycles)
+                    for df in Dataflow)
+            own[i] = lat * counts[i]
+
+        bottleneck = int(np.argmax(own))
+        p, l = int(pe_idx[bottleneck]), int(l2_idx[bottleneck])
+        pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
+        lat = self.layer_latencies(workload, pes, l2)
+        return DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes, l2_kb=l2,
+                                total_latency=float((lat * counts).sum()),
+                                per_layer_latency=lat)
+
+    # ------------------------------------------------------------------
+    def oracle_deployment(self, workload: ModelWorkload) -> DeploymentResult:
+        """Best single configuration by brute force (deployment upper bound)."""
+        space = self.problem.space
+        best: DeploymentResult | None = None
+        layers = workload.layer_array()
+        counts = workload.count_array()
+        for p in range(space.n_pe):
+            for l in range(space.n_l2):
+                pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
+                lat = self.layer_latencies(workload, pes, l2)
+                total = float((lat * counts).sum())
+                if best is None or total < best.total_latency:
+                    best = DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes,
+                                            l2_kb=l2, total_latency=total,
+                                            per_layer_latency=lat)
+        return best

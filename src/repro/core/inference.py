@@ -1,0 +1,101 @@
+"""One-shot DSE inference and prediction-quality metrics.
+
+The paper's headline metric is *prediction accuracy*: the fraction of test
+samples whose predicted design point matches the oracle optimum.  We report
+it per head and jointly, plus two relaxed diagnostics (bucket-level match
+and latency regret) that the ablation benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dse import DSEDataset, DSEProblem, ExhaustiveOracle
+from .model import AirchitectV2
+
+__all__ = ["PredictionMetrics", "evaluate_predictions", "evaluate_model",
+           "DSEPredictor"]
+
+
+@dataclass
+class PredictionMetrics:
+    """Quality of predicted design points against oracle labels."""
+
+    accuracy: float          # both heads exactly right (the paper's metric)
+    pe_accuracy: float
+    l2_accuracy: float
+    bucket_accuracy: float   # both heads land in the right UOV bucket
+    mean_regret: float       # mean (predicted metric / optimal metric) - 1
+
+    def as_dict(self) -> dict:
+        return {"accuracy": self.accuracy, "pe_accuracy": self.pe_accuracy,
+                "l2_accuracy": self.l2_accuracy,
+                "bucket_accuracy": self.bucket_accuracy,
+                "mean_regret": self.mean_regret}
+
+
+def evaluate_predictions(problem: DSEProblem, dataset: DSEDataset,
+                         pe_pred: np.ndarray, l2_pred: np.ndarray,
+                         pe_codec=None, l2_codec=None,
+                         oracle: ExhaustiveOracle | None = None,
+                         compute_regret: bool = True) -> PredictionMetrics:
+    """Score arbitrary (pe_idx, l2_idx) predictions against a dataset."""
+    pe_ok = pe_pred == dataset.pe_idx
+    l2_ok = l2_pred == dataset.l2_idx
+    both = pe_ok & l2_ok
+
+    if pe_codec is not None and l2_codec is not None:
+        bucket_ok = ((pe_codec.bucket_labels(pe_pred)
+                      == pe_codec.bucket_labels(dataset.pe_idx))
+                     & (l2_codec.bucket_labels(l2_pred)
+                        == l2_codec.bucket_labels(dataset.l2_idx)))
+        bucket_accuracy = float(bucket_ok.mean())
+    else:
+        bucket_accuracy = float(both.mean())
+
+    if compute_regret:
+        oracle = oracle or ExhaustiveOracle(problem)
+        achieved = oracle.cost_at(dataset.inputs, pe_pred, l2_pred)
+        regret = achieved / np.maximum(dataset.best_cost, 1e-12) - 1.0
+        mean_regret = float(regret.mean())
+    else:
+        mean_regret = float("nan")
+
+    return PredictionMetrics(accuracy=float(both.mean()),
+                             pe_accuracy=float(pe_ok.mean()),
+                             l2_accuracy=float(l2_ok.mean()),
+                             bucket_accuracy=bucket_accuracy,
+                             mean_regret=mean_regret)
+
+
+def evaluate_model(model: AirchitectV2, dataset: DSEDataset,
+                   oracle: ExhaustiveOracle | None = None,
+                   compute_regret: bool = True) -> PredictionMetrics:
+    """Run one-shot inference on a dataset and score it."""
+    pe_pred, l2_pred = model.predict_indices(dataset.inputs)
+    return evaluate_predictions(model.problem, dataset, pe_pred, l2_pred,
+                                pe_codec=model.pe_codec, l2_codec=model.l2_codec,
+                                oracle=oracle, compute_regret=compute_regret)
+
+
+class DSEPredictor:
+    """User-facing one-shot DSE API: inputs in, hardware configs out."""
+
+    def __init__(self, model: AirchitectV2):
+        self.model = model
+        self.problem = model.problem
+
+    def predict(self, m, n, k, dataflow) -> tuple[np.ndarray, np.ndarray]:
+        """Predict (num_pes, l2_kb) for workload(s); scalars broadcast."""
+        m, n, k = self.problem.clamp_inputs(m, n, k)
+        dataflow = np.broadcast_to(np.asarray(dataflow, dtype=np.int64), m.shape)
+        inputs = np.stack([np.atleast_1d(m), np.atleast_1d(n),
+                           np.atleast_1d(k), np.atleast_1d(dataflow)], axis=1)
+        pe_idx, l2_idx = self.model.predict_indices(inputs)
+        return self.problem.space.values(pe_idx, l2_idx)
+
+    def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Predict raw design-choice indices for pre-built input tuples."""
+        return self.model.predict_indices(inputs)

@@ -1,0 +1,124 @@
+"""Stage-1 training: shaping the encoder's embedding space (§III-C).
+
+The encoder (plus the performance head) is trained with::
+
+    L_stage1 = L_C + L_perf
+
+* ``L_C``     — the balanced InfoNCE contrastive loss (Eq. 1).  Positive
+  pairs are batch samples whose optimal design points fall in the *same
+  UOV buckets* (for both heads); negatives differ.  tau = 0.4.
+* ``L_perf``  — L1 loss of the performance head against the z-scored log
+  optimisation metric, which injects semantic (performance) structure into
+  the embedding space.
+
+The Table-II ablation axes are exposed directly: disabling both terms
+falls back to a plain L2 performance-regression objective, matching the
+paper's "(and using only an L2-loss term)" baseline row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..dse import DSEDataset
+from .model import AirchitectV2
+
+__all__ = ["Stage1Config", "Stage1Trainer", "contrastive_labels"]
+
+
+@dataclass
+class Stage1Config:
+    """Stage-1 optimisation hyper-parameters (paper: 500 epochs, tau 0.4)."""
+
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 1e-3
+    temperature: float = 0.4
+    use_contrastive: bool = True
+    use_perf: bool = True
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+def contrastive_labels(model: AirchitectV2, dataset: DSEDataset) -> np.ndarray:
+    """Joint UOV-bucket labels: samples sharing both buckets are positives."""
+    pe_buckets = model.pe_codec.bucket_labels(dataset.pe_idx)
+    l2_buckets = model.l2_codec.bucket_labels(dataset.l2_idx)
+    return pe_buckets * model.l2_codec.num_buckets + l2_buckets
+
+
+class Stage1Trainer:
+    """Trains encoder + performance head; the decoder is untouched."""
+
+    def __init__(self, model: AirchitectV2, config: Stage1Config | None = None):
+        self.model = model
+        self.config = config or Stage1Config()
+        self.contrastive = nn.InfoNCELoss(self.config.temperature)
+        self.perf_mean: float = 0.0
+        self.perf_std: float = 1.0
+
+    def train(self, dataset: DSEDataset, verbose: bool = False) -> dict:
+        """Run stage-1 training; returns a history dict of per-epoch losses."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        model = self.model
+        model.train()
+
+        labels = contrastive_labels(model, dataset)
+        perf, self.perf_mean, self.perf_std = dataset.perf_targets()
+        data = nn.ArrayDataset(dataset.inputs, labels, perf)
+        loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng,
+                               drop_last=len(data) > cfg.batch_size)
+
+        params = model.encoder.parameters() + model.perf_head.parameters()
+        optimizer = nn.Adam(params, lr=cfg.lr)
+        scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+
+        history = {"loss": [], "contrastive": [], "perf": []}
+        for epoch in range(cfg.epochs):
+            sums = {"loss": 0.0, "contrastive": 0.0, "perf": 0.0}
+            batches = 0
+            for xb, yb, pb in loader:
+                embedding = model.embed(xb)
+                pred_perf = model.perf_head(embedding)
+
+                terms = []
+                lc_val = lp_val = 0.0
+                if cfg.use_contrastive:
+                    lc = self.contrastive(embedding, yb)
+                    terms.append(lc)
+                    lc_val = lc.item()
+                if cfg.use_perf:
+                    lp = nn.l1_loss(pred_perf, pb)
+                    terms.append(lp)
+                    lp_val = lp.item()
+                if not terms:
+                    # Ablation baseline: plain L2 performance regression.
+                    lp = nn.mse_loss(pred_perf, pb)
+                    terms.append(lp)
+                    lp_val = lp.item()
+
+                loss = terms[0]
+                for term in terms[1:]:
+                    loss = loss + term
+
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+
+                sums["loss"] += loss.item()
+                sums["contrastive"] += lc_val
+                sums["perf"] += lp_val
+                batches += 1
+            scheduler.step()
+            for key in history:
+                history[key].append(sums[key] / max(batches, 1))
+            if verbose:
+                print(f"[stage1] epoch {epoch + 1}/{cfg.epochs} "
+                      f"loss={history['loss'][-1]:.4f}")
+        model.eval()
+        return history

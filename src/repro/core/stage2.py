@@ -1,0 +1,120 @@
+"""Stage-2 training: decoder + UOV heads over the frozen encoder (§III-D).
+
+The encoder's weights are frozen ("to prevent the backpropagation of
+gradients") and the decoder learns to map latent points to hardware
+configurations.  The loss depends on the head style:
+
+* ``uov``            — Unification Loss (Eq. 3) per head, summed.
+* ``classification`` — cross-entropy per head, summed.
+* ``joint``          — one cross-entropy over the 768-way label.
+* ``regression``     — MSE against the normalised choice index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..dse import DSEDataset
+from .model import AirchitectV2
+
+__all__ = ["Stage2Config", "Stage2Trainer"]
+
+
+@dataclass
+class Stage2Config:
+    """Stage-2 optimisation hyper-parameters (paper: 100 epochs, a=0.75, g=1)."""
+
+    epochs: int = 20
+    batch_size: int = 256
+    lr: float = 1e-3
+    alpha: float = 0.75
+    gamma: float = 1.0
+    grad_clip: float = 5.0
+    seed: int = 1
+
+
+class Stage2Trainer:
+    """Trains the decoder (and heads) with the encoder frozen."""
+
+    def __init__(self, model: AirchitectV2, config: Stage2Config | None = None):
+        self.model = model
+        self.config = config or Stage2Config()
+        self.unification = nn.UnificationLoss(self.config.alpha, self.config.gamma)
+
+    # ------------------------------------------------------------------
+    def _targets(self, dataset: DSEDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Per-head training targets for the configured head style."""
+        model = self.model
+        style = model.config.head_style
+        space = model.problem.space
+        if style == "uov":
+            return (model.pe_codec.encode(dataset.pe_idx),
+                    model.l2_codec.encode(dataset.l2_idx))
+        if style == "classification":
+            return dataset.pe_idx, dataset.l2_idx
+        if style == "joint":
+            return dataset.joint_labels(space.n_l2), np.zeros(len(dataset))
+        # regression: normalised indices in [0, 1]
+        return (dataset.pe_idx / max(space.n_pe - 1, 1),
+                dataset.l2_idx / max(space.n_l2 - 1, 1))
+
+    def _loss(self, pe_logits, l2_logits, pe_target, l2_target):
+        style = self.model.config.head_style
+        if style == "uov":
+            return (self.unification(pe_logits, pe_target)
+                    + self.unification(l2_logits, l2_target))
+        if style == "classification":
+            return (nn.cross_entropy(pe_logits, pe_target)
+                    + nn.cross_entropy(l2_logits, l2_target))
+        if style == "joint":
+            return nn.cross_entropy(pe_logits, pe_target)
+        pe_pred = pe_logits.sigmoid().squeeze(-1)
+        l2_pred = l2_logits.sigmoid().squeeze(-1)
+        return nn.mse_loss(pe_pred, pe_target) + nn.mse_loss(l2_pred, l2_target)
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: DSEDataset, verbose: bool = False) -> dict:
+        """Run stage-2 training; returns a history dict of per-epoch losses."""
+        cfg = self.config
+        model = self.model
+        rng = np.random.default_rng(cfg.seed)
+
+        model.train()
+        model.encoder.requires_grad_(False)   # the paper's frozen encoder
+        model.perf_head.requires_grad_(False)
+
+        pe_t, l2_t = self._targets(dataset)
+        data = nn.ArrayDataset(dataset.inputs, pe_t, l2_t)
+        loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+        params = model.decoder.parameters()
+        optimizer = nn.Adam(params, lr=cfg.lr)
+        scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+
+        history = {"loss": []}
+        for epoch in range(cfg.epochs):
+            total, batches = 0.0, 0
+            for xb, pb, lb in loader:
+                embedding = model.embed(xb)
+                pe_logits, l2_logits = model.decoder(embedding.detach())
+                loss = self._loss(pe_logits, l2_logits, pb, lb)
+
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+                total += loss.item()
+                batches += 1
+            scheduler.step()
+            history["loss"].append(total / max(batches, 1))
+            if verbose:
+                print(f"[stage2] epoch {epoch + 1}/{cfg.epochs} "
+                      f"loss={history['loss'][-1]:.4f}")
+
+        model.encoder.requires_grad_(True)
+        model.perf_head.requires_grad_(True)
+        model.eval()
+        return history

@@ -1,0 +1,17 @@
+"""``repro.dse`` — the DSE problem formulation of §III-A / Table I.
+
+Design space (64 PE x 12 buffer choices), input feature encoding, the
+exhaustive labelling oracle, and dataset generation utilities.
+"""
+
+from .dataset import DSEDataset, generate_random_dataset, generate_workload_dataset
+from .oracle import ExhaustiveOracle, OracleResult
+from .problem import DSEProblem, FeatureBounds
+from .space import DesignSpace, default_space
+
+__all__ = [
+    "DSEDataset", "generate_random_dataset", "generate_workload_dataset",
+    "ExhaustiveOracle", "OracleResult",
+    "DSEProblem", "FeatureBounds",
+    "DesignSpace", "default_space",
+]

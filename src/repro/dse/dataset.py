@@ -1,0 +1,153 @@
+"""DSE dataset generation, persistence and splits.
+
+A :class:`DSEDataset` pairs input tuples ``[M, N, K, dataflow]`` with their
+oracle-optimal design point (PE index, buffer index) and the optimal metric
+value.  Two generators mirror the paper's data pipeline:
+
+* :func:`generate_random_dataset` — randomised input parameters (the
+  paper's phrase), log-uniform over the Table-I ranges;
+* :func:`generate_workload_dataset` — layers from the 105-model workload
+  zoo, crossed with the three dataflows and optionally jitter-augmented to
+  reach a target sample count.
+
+The stage-1 performance-prediction target is the z-scored log metric
+(:meth:`DSEDataset.perf_targets`): latency spans ~5 orders of magnitude, so
+the predictor regresses log-latency, and z-scoring keeps the L1 loss scale
+comparable with the contrastive term.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .oracle import ExhaustiveOracle
+from .problem import DSEProblem
+
+__all__ = ["DSEDataset", "generate_random_dataset", "generate_workload_dataset"]
+
+
+@dataclass
+class DSEDataset:
+    """Labelled DSE data: inputs, optimal labels and optimal metric values."""
+
+    inputs: np.ndarray      # (B, 4) int64: M, N, K, dataflow
+    pe_idx: np.ndarray      # (B,) optimal PE-choice index
+    l2_idx: np.ndarray      # (B,) optimal buffer-choice index
+    best_cost: np.ndarray   # (B,) optimal metric value (latency by default)
+
+    def __post_init__(self):
+        n = len(self.inputs)
+        for name in ("pe_idx", "l2_idx", "best_cost"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    # ------------------------------------------------------------------
+    # Training targets
+    # ------------------------------------------------------------------
+    def perf_targets(self, mean: float | None = None,
+                     std: float | None = None) -> tuple[np.ndarray, float, float]:
+        """Z-scored log metric, plus the (mean, std) used.
+
+        Pass the training-set statistics when transforming a test set.
+        """
+        logs = np.log(np.maximum(self.best_cost, 1.0))
+        mean = float(logs.mean()) if mean is None else mean
+        std = float(logs.std() + 1e-9) if std is None else std
+        return (logs - mean) / std, mean, std
+
+    def joint_labels(self, n_l2: int) -> np.ndarray:
+        """Flat 768-way class labels (AIRCHITECT v1's target encoding)."""
+        return self.pe_idx * n_l2 + self.l2_idx
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "DSEDataset":
+        return DSEDataset(self.inputs[indices], self.pe_idx[indices],
+                          self.l2_idx[indices], self.best_cost[indices])
+
+    def split(self, test_fraction: float,
+              rng: np.random.Generator) -> tuple["DSEDataset", "DSEDataset"]:
+        """Random (train, test) split (the paper uses 80K/20K)."""
+        order = rng.permutation(len(self))
+        n_test = max(1, int(round(len(self) * test_fraction)))
+        return self.subset(order[n_test:]), self.subset(order[:n_test])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        np.savez_compressed(path, inputs=self.inputs, pe_idx=self.pe_idx,
+                            l2_idx=self.l2_idx, best_cost=self.best_cost)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "DSEDataset":
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        with np.load(path) as archive:
+            return cls(inputs=archive["inputs"], pe_idx=archive["pe_idx"],
+                       l2_idx=archive["l2_idx"], best_cost=archive["best_cost"])
+
+
+def generate_random_dataset(problem: DSEProblem, count: int,
+                            rng: np.random.Generator,
+                            oracle: ExhaustiveOracle | None = None) -> DSEDataset:
+    """Dataset over randomised Table-I inputs, labelled by the exact oracle."""
+    oracle = oracle or ExhaustiveOracle(problem)
+    inputs = problem.sample_inputs(count, rng)
+    result = oracle.solve(inputs)
+    return DSEDataset(inputs=inputs, pe_idx=result.pe_idx,
+                      l2_idx=result.l2_idx, best_cost=result.best_cost)
+
+
+def generate_workload_dataset(problem: DSEProblem, layers: np.ndarray,
+                              rng: np.random.Generator,
+                              target_count: int | None = None,
+                              oracle: ExhaustiveOracle | None = None,
+                              jitter: float = 0.15) -> DSEDataset:
+    """Dataset from real DNN layers (the 105-workload zoo).
+
+    Parameters
+    ----------
+    layers:
+        Array of shape (L, 3) with per-layer (M, N, K), already lowered to
+        GEMM (see :mod:`repro.workloads`).  Dims are clamped to Table-I
+        ranges, then crossed with all three dataflows.
+    target_count:
+        If larger than 3 * L, additional samples are created by multiplying
+        random layers with log-normal jitter (std ``jitter``) — emulating
+        the density of the paper's 100K-sample dataset while staying on the
+        manifold of realistic layer shapes.
+    """
+    oracle = oracle or ExhaustiveOracle(problem)
+    layers = np.atleast_2d(np.asarray(layers, dtype=np.int64))
+    m, n, k = problem.clamp_inputs(layers[:, 0], layers[:, 1], layers[:, 2])
+    base = np.stack([m, n, k], axis=1)
+
+    tuples = [np.concatenate([base, np.full((len(base), 1), df, dtype=np.int64)], axis=1)
+              for df in range(problem.bounds.n_dataflows)]
+    inputs = np.concatenate(tuples, axis=0)
+
+    if target_count is not None and target_count < len(inputs):
+        keep = rng.choice(len(inputs), size=target_count, replace=False)
+        inputs = inputs[keep]
+    elif target_count is not None and target_count > len(inputs):
+        extra = target_count - len(inputs)
+        picks = rng.integers(0, len(base), size=extra)
+        noise = np.exp(rng.normal(0.0, jitter, size=(extra, 3)))
+        dims = np.maximum((base[picks] * noise).astype(np.int64), 1)
+        md, nd, kd = problem.clamp_inputs(dims[:, 0], dims[:, 1], dims[:, 2])
+        dfs = rng.integers(0, problem.bounds.n_dataflows, size=extra)
+        aug = np.stack([md, nd, kd, dfs], axis=1)
+        inputs = np.concatenate([inputs, aug], axis=0)
+
+    result = oracle.solve(inputs)
+    return DSEDataset(inputs=inputs, pe_idx=result.pe_idx,
+                      l2_idx=result.l2_idx, best_cost=result.best_cost)

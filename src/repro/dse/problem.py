@@ -1,0 +1,129 @@
+"""DSE problem formulation: Table-I input features and their model encoding.
+
+Inputs are per-layer workload descriptors: GEMM dimensions ``M <= 256``,
+``N <= 1677``, ``K <= 1185`` (integer-valued) and a categorical dataflow
+among {weight, output, row} stationary.  The product of feature cardinality
+with the output space gives the paper's O(1e9) design-space complexity.
+
+Model-facing encodings:
+
+* ``featurize``    — flat float features: log-normalised M, N, K plus a
+  one-hot dataflow (used by the MLP/GAN/VAE baselines).
+* ``tokenize``     — a 4-token sequence (M, N, K, dataflow), each token a
+  scalar channel, for the transformer encoder: AIRCHITECT v2 treats each
+  input parameter as one token of the self-attention sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..maestro import Dataflow
+from .space import DesignSpace, default_space
+
+__all__ = ["FeatureBounds", "DSEProblem"]
+
+
+@dataclass(frozen=True)
+class FeatureBounds:
+    """Input feature ranges of Table I."""
+
+    m_max: int = 256
+    n_max: int = 1677
+    k_max: int = 1185
+    n_dataflows: int = 3
+
+    @property
+    def complexity(self) -> int:
+        """Input-space cardinality (the paper's O(1e9) figure comes from
+        multiplying this by nothing else — 256 * 1677 * 1185 * 3 ≈ 1.5e9)."""
+        return self.m_max * self.n_max * self.k_max * self.n_dataflows
+
+
+@dataclass(frozen=True)
+class DSEProblem:
+    """The full problem: feature bounds + design space + optimisation metric.
+
+    ``metric`` selects what the oracle minimises: ``"latency"`` (the paper's
+    reward), ``"energy"``, or ``"edp"`` (extension experiments).
+    """
+
+    bounds: FeatureBounds = field(default_factory=FeatureBounds)
+    space: DesignSpace = field(default_factory=default_space)
+    metric: str = "latency"
+
+    def __post_init__(self):
+        if self.metric not in ("latency", "energy", "edp"):
+            raise ValueError(f"unknown metric {self.metric!r}")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_inputs(self, count: int, rng: np.random.Generator,
+                      log_uniform: bool = True) -> np.ndarray:
+        """Random input tuples, shape (count, 4): [M, N, K, dataflow].
+
+        ``log_uniform`` samples dimensions log-uniformly, matching the
+        roughly scale-free spread of real DNN layer shapes; uniform sampling
+        is kept for ablations.
+        """
+        b = self.bounds
+        if log_uniform:
+            def draw(upper):
+                return np.exp(rng.uniform(0.0, np.log(upper), size=count)).astype(np.int64)
+            m = np.clip(draw(b.m_max), 1, b.m_max)
+            n = np.clip(draw(b.n_max), 1, b.n_max)
+            k = np.clip(draw(b.k_max), 1, b.k_max)
+        else:
+            m = rng.integers(1, b.m_max + 1, size=count)
+            n = rng.integers(1, b.n_max + 1, size=count)
+            k = rng.integers(1, b.k_max + 1, size=count)
+        dataflow = rng.integers(0, b.n_dataflows, size=count)
+        return np.stack([m, n, k, dataflow], axis=1)
+
+    def clamp_inputs(self, m, n, k) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Clamp real layer dims into the Table-I feature ranges."""
+        b = self.bounds
+        return (np.clip(np.asarray(m), 1, b.m_max),
+                np.clip(np.asarray(n), 1, b.n_max),
+                np.clip(np.asarray(k), 1, b.k_max))
+
+    # ------------------------------------------------------------------
+    # Model encodings
+    # ------------------------------------------------------------------
+    def featurize(self, inputs: np.ndarray) -> np.ndarray:
+        """Flat features, shape (batch, 6): 3 log-scaled dims + 3-way one-hot."""
+        inputs = np.atleast_2d(np.asarray(inputs))
+        b = self.bounds
+        dims = inputs[:, :3].astype(np.float64)
+        maxima = np.array([b.m_max, b.n_max, b.k_max], dtype=np.float64)
+        scaled = np.log1p(dims) / np.log1p(maxima)
+        onehot = np.zeros((len(inputs), b.n_dataflows))
+        onehot[np.arange(len(inputs)), inputs[:, 3].astype(np.int64)] = 1.0
+        return np.concatenate([scaled, onehot], axis=1)
+
+    def tokenize(self, inputs: np.ndarray) -> np.ndarray:
+        """Token sequence, shape (batch, 4, 2): per-token [value, type-id/3].
+
+        Token order is (M, N, K, dataflow); the value channel for dimension
+        tokens is the log-normalised size and for the dataflow token the
+        dataflow index scaled to [0, 1].
+        """
+        inputs = np.atleast_2d(np.asarray(inputs))
+        feats = self.featurize(inputs)
+        batch = len(inputs)
+        values = np.empty((batch, 4))
+        values[:, :3] = feats[:, :3]
+        values[:, 3] = inputs[:, 3] / max(self.bounds.n_dataflows - 1, 1)
+        type_ids = np.broadcast_to(np.arange(4) / 3.0, (batch, 4))
+        return np.stack([values, type_ids], axis=2)
+
+    def metric_array(self, breakdown) -> np.ndarray:
+        """Pull the optimisation metric out of a CostBreakdown."""
+        if self.metric == "latency":
+            return breakdown.latency_cycles
+        if self.metric == "energy":
+            return breakdown.energy_pj
+        return breakdown.edp

@@ -1,0 +1,98 @@
+"""The hardware design space of Table I: 64 PE choices x 12 buffer choices.
+
+The paper's output formulation is ``PE (64), buffer size (12)`` — i.e. the
+number of processing elements is one of 64 discrete values and the L2
+buffer size one of 12.  Following ConfuciuX's resource-assignment framing,
+PE counts are multiples of 8 (8..512) and buffer sizes are powers of two
+from 16 KB to 32 MB.  The per-PE L1 size is fixed (ConfuciuX assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DesignSpace", "default_space"]
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Discrete (PE count, L2 KB) design space with label encoding helpers.
+
+    The *flat label* of a design point is ``pe_idx * n_l2 + l2_idx`` —
+    the classification target used by AIRCHITECT v1's single softmax head.
+    """
+
+    pe_choices: np.ndarray
+    l2_choices: np.ndarray
+
+    def __post_init__(self):
+        pe = np.asarray(self.pe_choices, dtype=np.int64)
+        l2 = np.asarray(self.l2_choices, dtype=np.int64)
+        if (np.diff(pe) <= 0).any() or (np.diff(l2) <= 0).any():
+            raise ValueError("design choices must be strictly increasing")
+        object.__setattr__(self, "pe_choices", pe)
+        object.__setattr__(self, "l2_choices", l2)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_pe(self) -> int:
+        return len(self.pe_choices)
+
+    @property
+    def n_l2(self) -> int:
+        return len(self.l2_choices)
+
+    @property
+    def size(self) -> int:
+        """Number of design points (768 for the Table-I space)."""
+        return self.n_pe * self.n_l2
+
+    # ------------------------------------------------------------------
+    # Index <-> value <-> flat label conversions (all vectorised)
+    # ------------------------------------------------------------------
+    def values(self, pe_idx, l2_idx) -> tuple[np.ndarray, np.ndarray]:
+        """(pe_idx, l2_idx) -> (num_pes, l2_kb)."""
+        return self.pe_choices[np.asarray(pe_idx)], self.l2_choices[np.asarray(l2_idx)]
+
+    def flat_label(self, pe_idx, l2_idx) -> np.ndarray:
+        """(pe_idx, l2_idx) -> single integer class label."""
+        return np.asarray(pe_idx) * self.n_l2 + np.asarray(l2_idx)
+
+    def unflatten(self, label) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`flat_label`."""
+        label = np.asarray(label)
+        return label // self.n_l2, label % self.n_l2
+
+    def snap_pe(self, value) -> np.ndarray:
+        """Nearest PE-choice index for continuous predictions."""
+        return _nearest_index(self.pe_choices, value)
+
+    def snap_l2(self, value) -> np.ndarray:
+        """Nearest buffer-choice index for continuous predictions."""
+        return _nearest_index(self.l2_choices, value)
+
+    def grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Meshgrid of all (num_pes, l2_kb) pairs, each shaped (n_pe, n_l2)."""
+        return np.meshgrid(self.pe_choices, self.l2_choices, indexing="ij")
+
+    def random_point(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Uniformly random (pe_idx, l2_idx)."""
+        return int(rng.integers(self.n_pe)), int(rng.integers(self.n_l2))
+
+
+def _nearest_index(choices: np.ndarray, value) -> np.ndarray:
+    """Index of the closest choice for each entry of ``value``."""
+    value = np.asarray(value, dtype=np.float64)
+    diffs = np.abs(choices[None, :] - value.reshape(-1, 1))
+    idx = np.argmin(diffs, axis=-1)
+    return idx.reshape(value.shape)
+
+
+def default_space() -> DesignSpace:
+    """The Table-I space: PEs in {8, 16, ..., 512}, L2 in {16 KB .. 32 MB}."""
+    return DesignSpace(pe_choices=np.arange(8, 8 * 65, 8),
+                       l2_choices=2 ** np.arange(4, 16))

@@ -1,0 +1,78 @@
+"""Figure 3: the two dataset pathologies motivating AIRCHITECT v2.
+
+(a) the latency landscape over input-feature PCA space is non-uniform and
+    non-convex (many local minima, high ruggedness);
+(b) the optimal-design-point histogram is long-tailed (few head classes
+    dominate).
+
+The runner returns both the plot-ready arrays (PCA coordinates + latency,
+label histogram) and the quantitative statistics asserted by the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import (PCA, grid_landscape_stats, input_sensitivity,
+                        longtail_stats)
+from ..dse import ExhaustiveOracle
+from .common import get_datasets, get_problem
+from .harness import Workspace, get_scale, render_table
+
+__all__ = ["run_fig3"]
+
+
+def run_fig3(scale=None, workspace: Workspace | None = None,
+             grid_samples: int = 64) -> dict:
+    """Characterise the dataset's landscape (3a) and label tail (3b)."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, _ = get_datasets(scale, workspace, problem)
+
+    # --- (a) non-uniform landscape over PCA of the input features -------
+    pca = PCA(n_components=2)
+    coords = pca.fit_transform(problem.featurize(train.inputs))
+    norm_latency = np.log(np.maximum(train.best_cost, 1.0))
+    norm_latency = (norm_latency - norm_latency.min()) / \
+        max(norm_latency.max() - norm_latency.min(), 1e-12)
+
+    # Per-workload design-grid landscapes for convexity statistics.
+    rng = np.random.default_rng(scale.seed)
+    pick = rng.choice(len(train), size=min(grid_samples, len(train)),
+                      replace=False)
+    oracle = ExhaustiveOracle(problem)
+    solved = oracle.solve(train.inputs[pick], keep_grid=True)
+    grid_stats = [grid_landscape_stats(g) for g in solved.cost_grid]
+    mean_minima = float(np.mean([s.num_local_minima for s in grid_stats]))
+    mean_rugged = float(np.mean([s.ruggedness for s in grid_stats]))
+    mean_range = float(np.mean([s.dynamic_range for s in grid_stats]))
+    sensitivity = input_sensitivity(train.inputs, train.pe_idx, train.l2_idx,
+                                    rng=rng)
+
+    # --- (b) long-tailed label distribution ----------------------------
+    labels = train.joint_labels(problem.space.n_l2)
+    tail = longtail_stats(labels, problem.space.size)
+
+    rows = [
+        ["mean local minima per grid", mean_minima],
+        ["mean ruggedness", mean_rugged],
+        ["mean max/min latency range", mean_range],
+        ["input sensitivity (label dist.)", sensitivity],
+        ["distinct optimal points", tail.num_classes_used],
+        ["top-5 label share", tail.head_share_top5],
+        ["classes for 80% coverage", tail.coverage_80pct],
+        ["label gini", tail.gini],
+    ]
+    table = render_table(["statistic", "value"], rows,
+                         title="Fig. 3: dataset landscape / long-tail stats")
+    return {
+        "pca_coords": coords, "normalized_latency": norm_latency,
+        "explained_variance": pca.explained_variance_ratio_,
+        "landscape": {"mean_local_minima": mean_minima,
+                      "mean_ruggedness": mean_rugged,
+                      "mean_dynamic_range": mean_range,
+                      "input_sensitivity": sensitivity},
+        "longtail": tail, "label_histogram_labels": labels,
+        "table": table,
+    }

@@ -1,0 +1,58 @@
+"""Figure 4: problem-space complexity visualisation.
+
+Input features projected onto their two principal components (xy-plane)
+against the optimal output configuration plotted into UOV buckets
+(z-axis).  The paper uses this to argue the mapping is irregular enough to
+need a sophisticated model (not decision trees / SVMs); we additionally
+quantify that irregularity with a nearest-neighbour label-disagreement
+score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import PCA
+from ..uov import UOVCodec
+from .common import get_datasets, get_problem
+from .harness import Workspace, get_scale
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(scale=None, workspace: Workspace | None = None,
+             num_buckets: int = 16) -> dict:
+    """PCA scatter data + bucket labels + irregularity score."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, _ = get_datasets(scale, workspace, problem)
+
+    pca = PCA(n_components=2)
+    coords = pca.fit_transform(problem.featurize(train.inputs))
+
+    pe_codec = UOVCodec(problem.space.n_pe, num_buckets)
+    l2_codec = UOVCodec(problem.space.n_l2, num_buckets)
+    buckets = (pe_codec.bucket_labels(train.pe_idx) * num_buckets
+               + l2_codec.bucket_labels(train.l2_idx))
+
+    # Nearest-neighbour label disagreement in PCA space: high values mean
+    # close inputs want different configurations (the Fig. 4 irregularity).
+    rng = np.random.default_rng(scale.seed)
+    take = min(1024, len(coords))
+    pick = rng.choice(len(coords), size=take, replace=False)
+    sub, lab = coords[pick], buckets[pick]
+    dists = ((sub[:, None, :] - sub[None, :, :]) ** 2).sum(-1)
+    np.fill_diagonal(dists, np.inf)
+    nearest = dists.argmin(axis=1)
+    disagreement = float((lab != lab[nearest]).mean())
+
+    return {
+        "pca_coords": coords,
+        "output_buckets": buckets,
+        "explained_variance": pca.explained_variance_ratio_,
+        "num_distinct_buckets": int(len(np.unique(buckets))),
+        "nn_label_disagreement": disagreement,
+        "input_space_complexity": problem.bounds.complexity,
+        "output_space_size": problem.space.size,
+    }

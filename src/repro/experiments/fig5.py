@@ -1,0 +1,61 @@
+"""Figure 5: embedding space with vs. without contrastive learning.
+
+Both encoders are trained identically except for the contrastive term;
+their test-set embeddings are projected with PCA and scored with
+alignment / uniformity / class-separation metrics.  The paper's claim:
+contrastive learning yields a *uniform* embedding where classes separate
+— quantitatively, separation should rise and uniformity (log potential,
+lower = more uniform) should drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import PCA, embedding_stats
+from ..core import contrastive_labels
+from ..nn import no_grad
+from .common import get_datasets, get_problem, get_v2
+from .harness import Workspace, get_scale, render_table
+
+__all__ = ["run_fig5"]
+
+
+def _embed_all(model, inputs: np.ndarray, batch: int = 2048) -> np.ndarray:
+    chunks = []
+    with no_grad():
+        for start in range(0, len(inputs), batch):
+            chunks.append(model.embed(inputs[start:start + batch]).numpy())
+    return np.concatenate(chunks, axis=0)
+
+
+def run_fig5(scale=None, workspace: Workspace | None = None) -> dict:
+    """Compare embeddings of contrastive vs. non-contrastive encoders."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, test = get_datasets(scale, workspace, problem)
+
+    with_c = get_v2(scale, train, workspace, problem,
+                    use_contrastive=True, use_perf=True)
+    without_c = get_v2(scale, train, workspace, problem,
+                       use_contrastive=False, use_perf=True)
+
+    labels = contrastive_labels(with_c, test)
+    rng = np.random.default_rng(scale.seed)
+
+    out = {}
+    rows = []
+    for tag, model in (("with_contrastive", with_c),
+                       ("without_contrastive", without_c)):
+        z = _embed_all(model, test.inputs)
+        stats = embedding_stats(z, labels, rng=rng)
+        coords = PCA(n_components=2).fit_transform(z)
+        out[tag] = {"stats": stats, "pca_coords": coords, "labels": labels}
+        rows.append([tag, stats.alignment, stats.uniformity, stats.separation])
+
+    table = render_table(
+        ["encoder", "alignment (↓)", "uniformity (↓)", "separation (↑)"],
+        rows, title="Fig. 5: embedding space quality")
+    out["table"] = table
+    return out

@@ -1,0 +1,75 @@
+"""Figure 8(b): impact of the number of UOV buckets.
+
+Sweeps K over {1, 4, 8, 16, 32}: accuracy should rise with K and saturate
+around K = 16, while model size (output-head parameters) grows
+monotonically — the accuracy/size trade-off that picks K = 16 in the
+paper.  K = 1 reverts the heads to pure regression; large K approaches
+pure classification (the spectrum noted at the end of §IV-D).
+
+The stage-1 encoder is trained once (K = 16 contrastive labels) and shared
+across all decoder variants, isolating the head-representation effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import (AirchitectV2, Stage2Config, Stage2Trainer, evaluate_model)
+from ..dse import ExhaustiveOracle
+from .common import get_datasets, get_problem, get_v2, stage_configs
+from .harness import Workspace, get_scale, render_table
+
+__all__ = ["run_fig8b", "DEFAULT_BUCKET_SWEEP"]
+
+DEFAULT_BUCKET_SWEEP = (1, 4, 8, 16, 32)
+
+
+def run_fig8b(scale=None, workspace: Workspace | None = None,
+              sweep: tuple[int, ...] = DEFAULT_BUCKET_SWEEP) -> dict:
+    """Train per-K decoders over a shared encoder; report accuracy & size."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, test = get_datasets(scale, workspace, problem)
+    oracle = ExhaustiveOracle(problem)
+
+    # Shared stage-1 encoder from the canonical K=16 model.
+    base = get_v2(scale, train, workspace, problem)
+    encoder_state = base.encoder.state_dict()
+
+    results = {}
+    rows = []
+    for k in sweep:
+        tag = f"v2_uov_sweepk{k}"
+        path = workspace.model_key(scale, tag)
+        rng = np.random.default_rng(scale.seed + 17)
+        head_style = "regression" if k == 1 else "uov"
+        model = AirchitectV2(scale.model_config(head_style=head_style,
+                                                num_buckets=max(k, 1)),
+                             problem, rng)
+        model.encoder.load_state_dict(encoder_state)
+        if workspace.has(path):
+            from ..nn import load_module
+            load_module(model, path)
+            model.eval()
+        else:
+            _, s2 = stage_configs(scale)
+            Stage2Trainer(model, s2).train(train)
+            from ..nn import save_module
+            save_module(model, path)
+
+        metrics = evaluate_model(model, test, oracle=oracle)
+        head_params = model.head_parameter_count()
+        results[k] = {"metrics": metrics, "head_params": head_params}
+        rows.append([k, 100.0 * metrics.accuracy,
+                     100.0 * metrics.bucket_accuracy, head_params])
+
+    max_params = max(r["head_params"] for r in results.values())
+    for row, k in zip(rows, sweep):
+        row.append(results[k]["head_params"] / max_params)
+
+    table = render_table(
+        ["K buckets", "accuracy (%)", "bucket acc (%)", "head params",
+         "norm size"],
+        rows, title="Fig. 8(b): UOV bucket-count sweep")
+    return {"results": results, "table": table, "sweep": list(sweep)}

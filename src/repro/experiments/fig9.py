@@ -1,0 +1,61 @@
+"""Figure 9: UOV vs. classification, for both AIRCHITECT v1 and v2.
+
+Four variants — {v1, v2} x {classification, UOV} — compared on prediction
+accuracy and output-head size.  Classification for v1 is the original
+joint 768-way softmax; for v2 it is per-configuration softmax heads.
+
+Claims to reproduce: UOV improves accuracy for *both* techniques (it is
+not v2-specific) while *shrinking* the output heads — the property that
+makes UOV scale to larger design spaces.
+"""
+
+from __future__ import annotations
+
+from ..core import evaluate_model, evaluate_predictions
+from ..dse import ExhaustiveOracle
+from .common import get_datasets, get_problem, get_v1, get_v2
+from .harness import Workspace, get_scale, render_table
+
+__all__ = ["run_fig9"]
+
+
+def run_fig9(scale=None, workspace: Workspace | None = None) -> dict:
+    """Train the four variants and report accuracy + head sizes."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, test = get_datasets(scale, workspace, problem)
+    oracle = ExhaustiveOracle(problem)
+
+    results = {}
+
+    for style in ("joint", "uov"):
+        model = get_v1(scale, train, workspace, problem, head_style=style)
+        pe, l2 = model.predict_indices(test.inputs)
+        metrics = evaluate_predictions(problem, test, pe, l2,
+                                       pe_codec=model.pe_codec,
+                                       l2_codec=model.l2_codec, oracle=oracle)
+        label = "classification" if style == "joint" else "uov"
+        results[f"v1_{label}"] = {"metrics": metrics,
+                                  "head_params": model.head_parameter_count()}
+
+    for style in ("classification", "uov"):
+        model = get_v2(scale, train, workspace, problem, head_style=style)
+        metrics = evaluate_model(model, test, oracle=oracle)
+        results[f"v2_{style}"] = {"metrics": metrics,
+                                  "head_params": model.head_parameter_count()}
+
+    rows = []
+    for technique in ("v1", "v2"):
+        cls = results[f"{technique}_classification"]
+        uov = results[f"{technique}_uov"]
+        for label, entry in (("classification", cls), ("uov", uov)):
+            rows.append([technique, label,
+                         100.0 * entry["metrics"].accuracy,
+                         entry["head_params"],
+                         entry["head_params"] / cls["head_params"]])
+
+    table = render_table(
+        ["technique", "head", "accuracy (%)", "head params", "norm size"],
+        rows, title="Fig. 9: UOV vs classification")
+    return {"results": results, "table": table, "rows": rows}

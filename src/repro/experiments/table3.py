@@ -1,0 +1,48 @@
+"""Table III: layer-level prediction accuracy vs. learning-based baselines.
+
+GANDSE [16], AIRCHITECT v1 [5] and AIRCHITECT v2, trained and evaluated on
+the same dataset.  Paper: 84.39 / 77.60 / 91.17 % — the ordering to
+reproduce is v1 < GANDSE < v2.
+"""
+
+from __future__ import annotations
+
+from ..core import evaluate_model, evaluate_predictions
+from ..dse import ExhaustiveOracle
+from .common import get_datasets, get_gandse, get_problem, get_v1, get_v2
+from .harness import Workspace, get_scale, render_table
+
+__all__ = ["run_table3"]
+
+
+def run_table3(scale=None, workspace: Workspace | None = None) -> dict:
+    """Train all three techniques and score them on the shared test set."""
+    scale = get_scale(scale)
+    workspace = workspace or Workspace()
+    problem = get_problem()
+    train, test = get_datasets(scale, workspace, problem)
+    oracle = ExhaustiveOracle(problem)
+
+    results = {}
+
+    gandse = get_gandse(scale, train, workspace, problem)
+    pe, l2 = gandse.predict_indices(test.inputs)
+    results["gandse"] = evaluate_predictions(problem, test, pe, l2,
+                                             oracle=oracle)
+
+    v1 = get_v1(scale, train, workspace, problem)
+    pe, l2 = v1.predict_indices(test.inputs)
+    results["airchitect_v1"] = evaluate_predictions(
+        problem, test, pe, l2, pe_codec=v1.pe_codec, l2_codec=v1.l2_codec,
+        oracle=oracle)
+
+    v2 = get_v2(scale, train, workspace, problem)
+    results["airchitect_v2"] = evaluate_model(v2, test, oracle=oracle)
+
+    rows = [[name, 100.0 * metrics.accuracy, 100.0 * metrics.bucket_accuracy,
+             100.0 * metrics.mean_regret]
+            for name, metrics in results.items()]
+    table = render_table(
+        ["method", "accuracy (%)", "bucket acc (%)", "regret (%)"],
+        rows, title="Table III: comparison with learning-based techniques")
+    return {"results": results, "table": table, "rows": rows}

@@ -1,0 +1,91 @@
+"""Accelerator configuration: resources under DSE plus technology constants.
+
+The DSE variables (``num_pes`` and ``l2_kb``) follow Table I of the paper:
+64 PE choices and 12 L2 buffer-size choices, with the per-PE L1 size fixed
+(as in the ConfuciuX search assumptions the paper adopts).  The remaining
+fields are technology constants shared by every design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Technology", "AcceleratorConfig"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Fixed platform/technology parameters for the analytical model.
+
+    Bandwidths are in bytes/cycle; energies in pJ.  The SRAM latency/energy
+    scaling exponents model the physical cost of larger L2 buffers (longer
+    wordlines, deeper decoders), which is what makes over-provisioned
+    buffers *not* free and gives the latency landscape an interior optimum
+    in the buffer dimension.
+    """
+
+    element_bytes: int = 1           # int8 operands
+    l1_bytes: int = 512              # fixed per-PE scratchpad (ConfuciuX)
+    noc_bandwidth: float = 64.0      # L2 <-> PE array, bytes/cycle
+    dram_bandwidth: float = 16.0     # DRAM <-> L2, bytes/cycle
+    frequency_ghz: float = 1.0
+    # L2 access pipeline latency: base + slope * log2(l2_kb / 16) cycles,
+    # paid on every stationary-set swap (tile switch).
+    l2_latency_base: float = 2.0
+    l2_latency_slope: float = 1.5
+    # Energy per event (pJ): MAC, L1 access, NoC hop-byte, L2 access-byte
+    # (at the 16 KB reference size), DRAM access-byte.
+    e_mac: float = 0.2
+    e_l1: float = 0.15
+    e_noc: float = 0.3
+    e_l2_base: float = 1.2
+    e_l2_slope: float = 0.35         # growth per doubling of L2 size
+    e_dram: float = 16.0
+    # Area (arbitrary units) for constrained-DSE extensions.
+    area_per_pe: float = 1.0
+    area_per_l2_kb: float = 0.6
+
+    def l2_access_latency(self, l2_kb: float) -> float:
+        """Pipeline cycles per L2 tile access for a buffer of ``l2_kb`` KB."""
+        import math
+        return self.l2_latency_base + self.l2_latency_slope * math.log2(max(l2_kb / 16.0, 1.0))
+
+    def l2_access_energy(self, l2_kb: float) -> float:
+        """pJ per byte read from an L2 of ``l2_kb`` KB."""
+        import math
+        return self.e_l2_base + self.e_l2_slope * math.log2(max(l2_kb / 16.0, 1.0))
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point in the hardware design space."""
+
+    num_pes: int
+    l2_kb: int
+    technology: Technology = field(default_factory=Technology)
+
+    def __post_init__(self):
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.l2_kb < 1:
+            raise ValueError("l2_kb must be >= 1")
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    @property
+    def area(self) -> float:
+        """Area estimate in arbitrary units (PEs + L2 SRAM)."""
+        t = self.technology
+        return self.num_pes * t.area_per_pe + self.l2_kb * t.area_per_l2_kb
+
+    def with_resources(self, num_pes: int | None = None,
+                       l2_kb: int | None = None) -> "AcceleratorConfig":
+        """Copy with replaced DSE variables."""
+        return replace(self,
+                       num_pes=self.num_pes if num_pes is None else num_pes,
+                       l2_kb=self.l2_kb if l2_kb is None else l2_kb)
+
+    def __str__(self) -> str:
+        return f"Accelerator(PEs={self.num_pes}, L2={self.l2_kb}KB)"

@@ -1,0 +1,65 @@
+"""GEMM workload description used throughout the DSE problem (Table I).
+
+The paper's DSE task assumes a GEMM operation ``(M, K) x (K, N) = (M, N)``
+per layer; convolutions and attention projections are lowered to this form
+by :mod:`repro.workloads.lowering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GemmWorkload"]
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """A single GEMM layer: ``C[M, N] = A[M, K] @ B[K, N]``.
+
+    Attributes
+    ----------
+    m, n, k:
+        Matrix dimensions.  In the paper's feature encoding (Table I) these
+        are bounded by M <= 256, N <= 1677, K <= 1185.
+    name:
+        Optional layer label (e.g. ``"resnet50.layer3.conv2"``).
+    """
+
+    m: int
+    n: int
+    k: int
+    name: str = ""
+
+    def __post_init__(self):
+        for dim, value in (("m", self.m), ("n", self.n), ("k", self.k)):
+            if value < 1:
+                raise ValueError(f"GEMM dimension {dim} must be >= 1, got {value}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    def operand_bytes(self, element_bytes: int = 1) -> tuple[int, int, int]:
+        """Sizes in bytes of (A, B, C)."""
+        return (self.m * self.k * element_bytes,
+                self.k * self.n * element_bytes,
+                self.m * self.n * element_bytes)
+
+    def total_bytes(self, element_bytes: int = 1) -> int:
+        """Total unique bytes touched by the GEMM."""
+        a, b, c = self.operand_bytes(element_bytes)
+        return a + b + c
+
+    def arithmetic_intensity(self, element_bytes: int = 1) -> float:
+        """MACs per unique byte — the classic roofline x-axis."""
+        return self.macs / self.total_bytes(element_bytes)
+
+    def __str__(self) -> str:
+        tag = f" '{self.name}'" if self.name else ""
+        return f"GEMM{tag}(M={self.m}, N={self.n}, K={self.k})"

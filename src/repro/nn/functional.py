@@ -1,0 +1,99 @@
+"""Autograd-aware functional operations built on :class:`repro.nn.Tensor`.
+
+These are compositions of `Tensor` primitives, so they need no bespoke
+backward passes; numerical stability tricks (max-subtraction in softmax,
+clamping in log) are applied where standard.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "silu",
+    "leaky_relu",
+    "normalize",
+    "one_hot",
+    "cosine_similarity",
+    "pairwise_dot",
+    "logsumexp",
+]
+
+_LOG_EPS = 1e-12
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - logsumexp(shifted, axis=axis, keepdims=True)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """log(sum(exp(x))) along ``axis`` with max-shifting for stability."""
+    m = x.max(axis=axis, keepdims=True).detach()
+    out = (x - m).exp().sum(axis=axis, keepdims=True).log() + m
+    if not keepdims:
+        out = out.squeeze(axis)
+    return out
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used in BERT/GPT)."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = (x + x * x * x * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def silu(x: Tensor) -> Tensor:
+    """Sigmoid linear unit (a.k.a. swish), used by Llama-family FFNs."""
+    return x * x.sigmoid()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    return x.relu() - (-x).relu() * negative_slope
+
+
+def normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """L2-normalise along ``axis`` (used for contrastive embeddings)."""
+    norm = (x * x).sum(axis=axis, keepdims=True).sqrt()
+    return x / (norm + eps)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a dense one-hot ``float64`` matrix for integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    a_n = normalize(a, axis=axis, eps=eps)
+    b_n = normalize(b, axis=axis, eps=eps)
+    return (a_n * b_n).sum(axis=axis)
+
+
+def pairwise_dot(x: Tensor) -> Tensor:
+    """All-pairs dot products of row vectors: returns ``x @ x.T``."""
+    return x @ x.transpose()
+
+
+def safe_log(x: Tensor) -> Tensor:
+    """log with clamping away from zero (for BCE-style losses)."""
+    return x.clip(_LOG_EPS, 1.0).log()

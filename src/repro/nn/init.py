@@ -1,0 +1,62 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+experiment in the reproduction is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "kaiming_normal", "zeros", "normal"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight of the given shape."""
+    if len(shape) < 1:
+        raise ValueError("initialiser needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a), a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform for ReLU fan-in: U(-sqrt(6/fan_in), +)."""
+    fan_in, _ = _fan(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal for ReLU fan-in: N(0, 2/fan_in)."""
+    fan_in, _ = _fan(shape)
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros (biases, layernorm offsets)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Plain N(0, std^2), the GPT-style embedding initialiser."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,168 @@
+"""Module/Parameter abstractions, mirroring the familiar torch.nn layout.
+
+A :class:`Module` owns :class:`Parameter` leaves and child modules, exposes
+``parameters()`` / ``named_parameters()`` for optimisers, ``state_dict`` /
+``load_state_dict`` for persistence, and train/eval mode switching (used by
+dropout).  Parameter freezing (``requires_grad_(False)``) implements the
+paper's stage-2 protocol of training the decoder with a frozen encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; ``requires_grad`` defaults to True."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute magic: registering parameters/submodules on assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters as a flat list."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total scalar parameter count (the paper's 'model size' metric)."""
+        return sum(p.size for p in self.parameters()
+                   if not trainable_only or p.requires_grad)
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all descendant modules."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # ------------------------------------------------------------------
+    # Mode / gradient control
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def requires_grad_(self, flag: bool = True) -> "Module":
+        """Freeze (False) or unfreeze (True) every parameter in the subtree."""
+        for param in self.parameters():
+            param.requires_grad = flag
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict key/shape match)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {param.data.shape}")
+            param.data = value.astype(param.data.dtype, copy=True)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next module."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are registered with the parent."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self._modules[str(len(self._items))] = module
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; call its items directly")

@@ -1,0 +1,169 @@
+"""Optimisers and learning-rate schedules.
+
+Adam is the workhorse for every trained model in the reproduction; SGD is
+kept for baselines and tests.  Schedules are deliberately simple function
+objects (callable epoch -> lr multiplier) attached via :class:`LRScheduler`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "LRScheduler",
+           "cosine_schedule", "step_schedule", "warmup_cosine_schedule",
+           "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip the global gradient L2 norm in place; returns the pre-clip norm."""
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in parameters:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None or not p.requires_grad:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None or not p.requires_grad:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.parameters:
+                if p.requires_grad and p.grad is not None:
+                    p.data = p.data * (1.0 - self.lr * self.weight_decay)
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+class LRScheduler:
+    """Multiplies the optimiser's base lr by ``schedule(epoch)`` each step."""
+
+    def __init__(self, optimizer: Optimizer, schedule):
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        lr = self.base_lr * self.schedule(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+def cosine_schedule(total_epochs: int, min_mult: float = 0.01):
+    """Cosine decay from 1.0 down to ``min_mult`` over ``total_epochs``."""
+
+    def schedule(epoch: int) -> float:
+        t = min(epoch, total_epochs) / max(total_epochs, 1)
+        return min_mult + 0.5 * (1.0 - min_mult) * (1.0 + math.cos(math.pi * t))
+
+    return schedule
+
+
+def step_schedule(step_size: int, gamma: float = 0.1):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def schedule(epoch: int) -> float:
+        return gamma ** (epoch // step_size)
+
+    return schedule
+
+
+def warmup_cosine_schedule(warmup_epochs: int, total_epochs: int, min_mult: float = 0.01):
+    """Linear warmup for ``warmup_epochs`` then cosine decay to ``min_mult``."""
+    cosine = cosine_schedule(max(total_epochs - warmup_epochs, 1), min_mult)
+
+    def schedule(epoch: int) -> float:
+        if epoch <= warmup_epochs:
+            return epoch / max(warmup_epochs, 1)
+        return cosine(epoch - warmup_epochs)
+
+    return schedule

@@ -1,0 +1,35 @@
+"""Model persistence: save/load ``Module`` state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write the module's parameters to ``path`` (``.npz`` appended if absent).
+
+    Dotted parameter names are preserved as archive keys.
+    """
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved with :func:`save_module` into ``module``.
+
+    The module must already have the right architecture; keys and shapes are
+    checked strictly by ``Module.load_state_dict``.
+    """
+    path = str(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

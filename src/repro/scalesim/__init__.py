@@ -1,0 +1,10 @@
+"""``repro.scalesim`` — analytical systolic-array simulator (Scale-Sim style).
+
+The substrate AIRCHITECT v1 [5] was originally built on; used here for the
+systolic DSE context and as an independent sanity check of the MAESTRO-style
+cost model's qualitative behaviour.
+"""
+
+from .systolic import SystolicArray, SystolicMapping, SystolicResult
+
+__all__ = ["SystolicArray", "SystolicMapping", "SystolicResult"]

@@ -1,0 +1,138 @@
+"""Scale-Sim-style analytical systolic-array model.
+
+AIRCHITECT v1 [5] was demonstrated on systolic-array DSE tasks whose ground
+truth came from the Scale-Sim simulator [17], [20].  This module implements
+Scale-Sim's *analytical* runtime equations for a rows x cols systolic array
+executing a GEMM ``(M, K) x (K, N)`` under the three classic mappings:
+
+* ``OS`` (output stationary):  spatial (M, N), temporal K.
+  Cycles per fold: ``2 * rows + cols + K - 2``.
+* ``WS`` (weight stationary):  spatial (K, N), temporal M.
+  Cycles per fold: ``rows + cols + M - 1`` (weight fill then stream).
+* ``IS`` (input stationary):   spatial (K, M), temporal N.
+  Cycles per fold: ``rows + cols + N - 1``.
+
+A *fold* is one pass with a full set of stationary values; workloads larger
+than the array are processed in ``ceil(dim1/rows) * ceil(dim2/cols)`` folds.
+SRAM traffic estimates follow the same operand-reuse reasoning Scale-Sim
+reports in its per-layer CSV outputs.
+
+This substrate is used (a) for the v1-style systolic design-space context,
+and (b) as an independent cross-check of the MAESTRO-style model's
+qualitative behaviour (both must agree that small layers prefer small
+arrays, etc. — see ``tests/scalesim``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SystolicMapping", "SystolicArray", "SystolicResult"]
+
+
+class SystolicMapping(enum.IntEnum):
+    """Scale-Sim's three dataflow mappings."""
+
+    OUTPUT_STATIONARY = 0
+    WEIGHT_STATIONARY = 1
+    INPUT_STATIONARY = 2
+
+    @property
+    def short_name(self) -> str:
+        return {SystolicMapping.OUTPUT_STATIONARY: "os",
+                SystolicMapping.WEIGHT_STATIONARY: "ws",
+                SystolicMapping.INPUT_STATIONARY: "is"}[self]
+
+
+@dataclass
+class SystolicResult:
+    """Vectorised systolic-array analysis outputs."""
+
+    cycles: np.ndarray
+    folds: np.ndarray
+    utilization: np.ndarray
+    sram_reads: np.ndarray
+    sram_writes: np.ndarray
+
+    @property
+    def macs_per_cycle(self) -> np.ndarray:
+        return self.utilization
+
+
+class SystolicArray:
+    """An analytical rows x cols systolic array.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical PE array dimensions.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def run_gemm(self, m, n, k, mapping: SystolicMapping) -> SystolicResult:
+        """Analytical runtime for GEMM(s); ``m, n, k`` broadcast together."""
+        m = np.asarray(m, dtype=np.int64)
+        n = np.asarray(n, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        m, n, k = np.broadcast_arrays(m, n, k)
+        rows, cols = self.rows, self.cols
+
+        if mapping is SystolicMapping.OUTPUT_STATIONARY:
+            d1, d2, temporal = m, n, k
+            per_fold = 2 * rows + cols + temporal - 2
+        elif mapping is SystolicMapping.WEIGHT_STATIONARY:
+            d1, d2, temporal = k, n, m
+            per_fold = rows + cols + temporal - 1
+        elif mapping is SystolicMapping.INPUT_STATIONARY:
+            d1, d2, temporal = k, m, n
+            per_fold = rows + cols + temporal - 1
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unhandled mapping {mapping}")
+
+        folds1 = -(-d1 // rows)
+        folds2 = -(-d2 // cols)
+        folds = folds1 * folds2
+        cycles = folds * per_fold
+
+        macs = (m * n * k).astype(np.float64)
+        utilization = macs / (cycles * self.num_pes)
+
+        # SRAM traffic: operands are read once per fold touching them,
+        # outputs written once (plus partial-sum re-writes for WS/IS where
+        # the reduction dimension is spatial across folds1).
+        if mapping is SystolicMapping.OUTPUT_STATIONARY:
+            reads = m * k * folds2 + k * n * folds1
+            writes = m * n
+        elif mapping is SystolicMapping.WEIGHT_STATIONARY:
+            reads = k * n + m * k * folds2
+            writes = m * n * folds1
+        else:
+            reads = m * k + k * n * folds2
+            writes = m * n * folds1
+
+        return SystolicResult(cycles=cycles.astype(np.float64),
+                              folds=folds.astype(np.float64),
+                              utilization=utilization,
+                              sram_reads=reads.astype(np.float64),
+                              sram_writes=writes.astype(np.float64))
+
+    def best_mapping(self, m: int, n: int, k: int) -> tuple[SystolicMapping, float]:
+        """Return the (mapping, cycles) pair minimising runtime."""
+        best = None
+        for mapping in SystolicMapping:
+            cycles = float(self.run_gemm(m, n, k, mapping).cycles)
+            if best is None or cycles < best[1]:
+                best = (mapping, cycles)
+        return best

@@ -1,0 +1,22 @@
+"""``repro.search`` — search-based DSE baselines (§V of the paper).
+
+Random/exhaustive anchors, the GAMMA genetic algorithm [13], ConfuciuX's
+RL + GA two-phase search [12] (the paper's dataset labeller), and GP-based
+Bayesian optimisation (used standalone and inside VAESA+BO / contrastive+BO).
+"""
+
+from .base import DesignObjective, SearchResult
+from .bo import (BOConfig, BOResult, GaussianProcess, bayesian_optimization,
+                 expected_improvement)
+from .confuciux import ConfuciuXConfig, confuciux_search
+from .gamma import GammaConfig, gamma_search
+from .random_search import exhaustive_search, random_search
+
+__all__ = [
+    "DesignObjective", "SearchResult",
+    "BOConfig", "BOResult", "GaussianProcess", "bayesian_optimization",
+    "expected_improvement",
+    "ConfuciuXConfig", "confuciux_search",
+    "GammaConfig", "gamma_search",
+    "random_search", "exhaustive_search",
+]

@@ -1,0 +1,77 @@
+"""Shared scaffolding for search-based DSE methods.
+
+Every search baseline (random, GA/GAMMA, RL/ConfuciuX, BO) optimises a
+:class:`DesignObjective` — the cost (latency by default) of a design point
+for one fixed workload input — and returns a :class:`SearchResult` with a
+best-so-far trace, which is what the Fig. 8(a) convergence comparison
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dse import DSEProblem, ExhaustiveOracle
+
+__all__ = ["DesignObjective", "SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    pe_idx: int
+    l2_idx: int
+    best_cost: float
+    n_evals: int
+    history: list[float] = field(default_factory=list)  # best-so-far per eval
+
+    def history_array(self) -> np.ndarray:
+        return np.asarray(self.history, dtype=np.float64)
+
+
+class DesignObjective:
+    """Cost of (pe_idx, l2_idx) for one workload input, with eval counting.
+
+    Parameters
+    ----------
+    problem:
+        The DSE problem (provides the design space and metric).
+    input_tuple:
+        One ``[M, N, K, dataflow]`` input.
+    oracle:
+        Shared oracle/cost-model wrapper (reused across searches).
+    """
+
+    def __init__(self, problem: DSEProblem, input_tuple,
+                 oracle: ExhaustiveOracle | None = None):
+        self.problem = problem
+        self.input = np.asarray(input_tuple, dtype=np.int64).reshape(1, 4)
+        self.oracle = oracle or ExhaustiveOracle(problem)
+        self.n_evals = 0
+        self.best_cost = float("inf")
+        self.best_point = (0, 0)
+        self.history: list[float] = []
+
+    def __call__(self, pe_idx: int, l2_idx: int) -> float:
+        space = self.problem.space
+        pe_idx = int(np.clip(pe_idx, 0, space.n_pe - 1))
+        l2_idx = int(np.clip(l2_idx, 0, space.n_l2 - 1))
+        cost = float(self.oracle.cost_at(self.input, [pe_idx], [l2_idx])[0])
+        self.n_evals += 1
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_point = (pe_idx, l2_idx)
+        self.history.append(self.best_cost)
+        return cost
+
+    def result(self) -> SearchResult:
+        pe, l2 = self.best_point
+        return SearchResult(pe_idx=pe, l2_idx=l2, best_cost=self.best_cost,
+                            n_evals=self.n_evals, history=list(self.history))
+
+    def true_optimum(self) -> float:
+        """Exhaustive optimum (for regret reporting); not counted as evals."""
+        return float(self.oracle.solve(self.input).best_cost[0])

@@ -1,0 +1,109 @@
+"""ConfuciuX-style RL search [12]: REINFORCE coarse search + GA fine-tune.
+
+ConfuciuX assigns hardware resources with a policy-gradient agent (coarse
+global search) whose best genomes seed a genetic algorithm for local
+refinement.  The policy here is a small MLP over the workload features
+with two categorical heads (PE choice, buffer choice); the reward is the
+negative log latency (log-scaled so the return is well-conditioned across
+workloads whose latencies span orders of magnitude).  This is the method
+the paper used to *label its dataset*; we validate it against the exact
+exhaustive oracle in ``tests/search``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .base import DesignObjective, SearchResult
+from .gamma import GammaConfig, gamma_search
+
+__all__ = ["ConfuciuXConfig", "confuciux_search"]
+
+
+@dataclass(frozen=True)
+class ConfuciuXConfig:
+    """RL + GA budget split (ConfuciuX's two-phase schedule, scaled down)."""
+
+    episodes: int = 60
+    batch_episodes: int = 8
+    lr: float = 5e-3
+    entropy_weight: float = 0.01
+    hidden: int = 64
+    ga_config: GammaConfig = GammaConfig(population=12, generations=6, elite=3)
+    seed: int = 0
+
+
+class _Policy(nn.Module):
+    """Feature-conditioned categorical policy over the two design choices."""
+
+    def __init__(self, in_dim: int, hidden: int, n_pe: int, n_l2: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.trunk = nn.Sequential(nn.Linear(in_dim, hidden, rng), nn.Tanh())
+        self.pe_head = nn.Linear(hidden, n_pe, rng)
+        self.l2_head = nn.Linear(hidden, n_l2, rng)
+
+    def forward(self, features: np.ndarray):
+        h = self.trunk(nn.Tensor(features))
+        return self.pe_head(h), self.l2_head(h)
+
+
+def confuciux_search(objective: DesignObjective, rng: np.random.Generator,
+                     config: ConfuciuXConfig | None = None) -> SearchResult:
+    """Two-phase ConfuciuX search on one workload objective."""
+    cfg = config or ConfuciuXConfig()
+    problem = objective.problem
+    space = problem.space
+    features = problem.featurize(objective.input)
+
+    policy = _Policy(features.shape[1], cfg.hidden, space.n_pe, space.n_l2,
+                     np.random.default_rng(cfg.seed))
+    optimizer = nn.Adam(policy.parameters(), lr=cfg.lr)
+
+    reward_baseline = 0.0
+    baseline_initialised = False
+
+    episodes_done = 0
+    while episodes_done < cfg.episodes:
+        batch = min(cfg.batch_episodes, cfg.episodes - episodes_done)
+        episodes_done += batch
+
+        pe_logits, l2_logits = policy(np.repeat(features, batch, axis=0))
+        pe_probs = nn.functional.softmax(pe_logits, axis=-1)
+        l2_probs = nn.functional.softmax(l2_logits, axis=-1)
+
+        pe_actions = np.array([rng.choice(space.n_pe, p=row / row.sum())
+                               for row in pe_probs.numpy()])
+        l2_actions = np.array([rng.choice(space.n_l2, p=row / row.sum())
+                               for row in l2_probs.numpy()])
+
+        rewards = np.array([-np.log(objective(int(p), int(l)))
+                            for p, l in zip(pe_actions, l2_actions)])
+        if not baseline_initialised:
+            reward_baseline = float(rewards.mean())
+            baseline_initialised = True
+        advantage = rewards - reward_baseline
+        reward_baseline = 0.9 * reward_baseline + 0.1 * float(rewards.mean())
+
+        log_pe = nn.functional.log_softmax(pe_logits, axis=-1)
+        log_l2 = nn.functional.log_softmax(l2_logits, axis=-1)
+        rows = np.arange(batch)
+        picked = log_pe[rows, pe_actions] + log_l2[rows, l2_actions]
+        pg_loss = -(picked * nn.Tensor(advantage)).mean()
+        entropy = -(pe_probs * log_pe).sum(axis=-1).mean() \
+            - (l2_probs * log_l2).sum(axis=-1).mean()
+        loss = pg_loss - entropy * cfg.entropy_weight
+
+        optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(policy.parameters(), 5.0)
+        optimizer.step()
+
+    # Phase 2: GA fine-tuning seeded with the RL phase's best design.
+    seed_point = objective.best_point
+    gamma_search(objective, rng, cfg.ga_config,
+                 seed_population=[seed_point])
+    return objective.result()

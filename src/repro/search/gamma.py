@@ -1,0 +1,84 @@
+"""GAMMA-style genetic algorithm [13] over hardware design points.
+
+GAMMA evolves a population of encoded design genomes with elitism,
+tournament selection, crossover and mutation.  Here a genome is the pair
+``(pe_idx, l2_idx)``; mutation takes local steps (neighbouring design
+choices) with occasional random resets — the standard exploit/explore mix
+for ordered discrete spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import DesignObjective, SearchResult
+
+__all__ = ["GammaConfig", "gamma_search"]
+
+
+@dataclass(frozen=True)
+class GammaConfig:
+    """GA hyper-parameters (GAMMA defaults scaled to the 768-point space)."""
+
+    population: int = 20
+    generations: int = 12
+    elite: int = 4
+    tournament: int = 3
+    mutation_rate: float = 0.3
+    reset_rate: float = 0.1
+
+
+def _mutate(genome: tuple[int, int], space, rng,
+            mutation_rate: float, reset_rate: float) -> tuple[int, int]:
+    pe, l2 = genome
+    if rng.random() < mutation_rate:
+        if rng.random() < reset_rate:
+            pe = int(rng.integers(space.n_pe))
+        else:
+            pe = int(np.clip(pe + rng.integers(-3, 4), 0, space.n_pe - 1))
+    if rng.random() < mutation_rate:
+        if rng.random() < reset_rate:
+            l2 = int(rng.integers(space.n_l2))
+        else:
+            l2 = int(np.clip(l2 + rng.integers(-2, 3), 0, space.n_l2 - 1))
+    return pe, l2
+
+
+def gamma_search(objective: DesignObjective, rng: np.random.Generator,
+                 config: GammaConfig | None = None,
+                 seed_population: list[tuple[int, int]] | None = None) -> SearchResult:
+    """Run the GA; ``seed_population`` warm-starts (ConfuciuX fine-tuning)."""
+    cfg = config or GammaConfig()
+    space = objective.problem.space
+
+    population: list[tuple[int, int]] = list(seed_population or [])
+    while len(population) < cfg.population:
+        population.append((int(rng.integers(space.n_pe)),
+                           int(rng.integers(space.n_l2))))
+    population = population[:cfg.population]
+
+    fitness = np.array([objective(pe, l2) for pe, l2 in population])
+
+    for _ in range(cfg.generations):
+        order = np.argsort(fitness)
+        elites = [population[i] for i in order[:cfg.elite]]
+
+        children: list[tuple[int, int]] = list(elites)
+        while len(children) < cfg.population:
+            # Tournament selection of two parents.
+            picks = rng.integers(0, cfg.population, size=(2, cfg.tournament))
+            parents = []
+            for row in picks:
+                best = min(row, key=lambda i: fitness[i])
+                parents.append(population[best])
+            # Uniform crossover per gene.
+            child = (parents[rng.integers(2)][0], parents[rng.integers(2)][1])
+            child = _mutate(child, space, rng, cfg.mutation_rate, cfg.reset_rate)
+            children.append(child)
+
+        population = children
+        fitness = np.array([objective(pe, l2) for pe, l2 in population])
+
+    return objective.result()

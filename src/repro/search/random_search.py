@@ -1,0 +1,27 @@
+"""Random and exhaustive search baselines (sanity anchors for Fig. 8a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DesignObjective, SearchResult
+
+__all__ = ["random_search", "exhaustive_search"]
+
+
+def random_search(objective: DesignObjective, budget: int,
+                  rng: np.random.Generator) -> SearchResult:
+    """Uniformly sample ``budget`` design points."""
+    space = objective.problem.space
+    for _ in range(budget):
+        objective(int(rng.integers(space.n_pe)), int(rng.integers(space.n_l2)))
+    return objective.result()
+
+
+def exhaustive_search(objective: DesignObjective) -> SearchResult:
+    """Evaluate every design point (768 evals for the Table-I space)."""
+    space = objective.problem.space
+    for pe in range(space.n_pe):
+        for l2 in range(space.n_l2):
+            objective(pe, l2)
+    return objective.result()

@@ -1,0 +1,10 @@
+"""``repro.uov`` — Unified Ordinal Vectors (§III-D, Algorithm 1).
+
+SID bucketisation plus the ordinal encode/decode that blends classification
+(which bucket) with regression (where in the bucket).
+"""
+
+from .codec import ORDINAL_THRESHOLD, UOVCodec
+from .discretization import SpaceIncreasingDiscretization
+
+__all__ = ["UOVCodec", "ORDINAL_THRESHOLD", "SpaceIncreasingDiscretization"]

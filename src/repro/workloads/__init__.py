@@ -1,0 +1,29 @@
+"""``repro.workloads`` — the 105-model DNN/LLM workload zoo.
+
+Builders for CNN and transformer architectures lowered to GEMM layers, the
+105-model training registry, and the held-out evaluation models used by the
+paper's generalisation study (Fig. 7).
+"""
+
+from .cnn_zoo import (alexnet, cifar_resnet, densenet, lenet5, mobilenet_v1,
+                      mobilenet_v2, resnet, squeezenet, vgg)
+from .lowering import (attention_context_gemm, attention_score_gemm,
+                       conv2d_gemm, conv_out_size, depthwise_gemm, linear_gemm)
+from .model import ModelWorkload
+from .registry import (TRAINING_MODEL_COUNT, all_training_layers,
+                       build_workload, evaluation_registry,
+                       evaluation_workloads, training_registry,
+                       training_workloads)
+from .transformer_zoo import bert, gpt2, llama, t5_encoder, transformer_encoder, vit
+
+__all__ = [
+    "ModelWorkload",
+    "conv2d_gemm", "depthwise_gemm", "linear_gemm", "conv_out_size",
+    "attention_score_gemm", "attention_context_gemm",
+    "lenet5", "alexnet", "vgg", "resnet", "cifar_resnet",
+    "mobilenet_v1", "mobilenet_v2", "densenet", "squeezenet",
+    "bert", "gpt2", "vit", "t5_encoder", "llama", "transformer_encoder",
+    "TRAINING_MODEL_COUNT", "training_registry", "evaluation_registry",
+    "training_workloads", "evaluation_workloads", "build_workload",
+    "all_training_layers",
+]

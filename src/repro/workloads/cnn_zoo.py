@@ -1,0 +1,265 @@
+"""CNN workload builders: ResNet, VGG, MobileNet, DenseNet, SqueezeNet, ...
+
+Each builder returns a :class:`ModelWorkload` whose layers follow the
+published architecture (channel/stride schedules), lowered to GEMM with
+:mod:`repro.workloads.lowering`.  Input resolution is a parameter so one
+architecture yields several distinct workloads (the registry uses this to
+assemble the paper's 105-model training zoo).
+"""
+
+from __future__ import annotations
+
+from ..maestro import GemmWorkload
+from .lowering import conv2d_gemm, conv_out_size, depthwise_gemm, linear_gemm
+from .model import ModelWorkload
+
+__all__ = ["lenet5", "alexnet", "vgg", "resnet", "cifar_resnet",
+           "mobilenet_v1", "mobilenet_v2", "densenet", "squeezenet"]
+
+
+class _ConvTape:
+    """Tracks spatial resolution/channels while appending conv GEMMs."""
+
+    def __init__(self, in_size: int, in_ch: int = 3):
+        self.size = in_size
+        self.ch = in_ch
+        self.layers: list[GemmWorkload] = []
+
+    def conv(self, out_ch: int, kernel: int, stride: int = 1,
+             padding: int | None = None, name: str = "") -> "_ConvTape":
+        if padding is None:
+            padding = kernel // 2
+        out = conv_out_size(self.size, kernel, stride, padding)
+        self.layers.append(conv2d_gemm(out_ch, self.ch, kernel, out, out, name))
+        self.size, self.ch = out, out_ch
+        return self
+
+    def depthwise(self, kernel: int, stride: int = 1, name: str = "") -> "_ConvTape":
+        out = conv_out_size(self.size, kernel, stride, kernel // 2)
+        self.layers.append(depthwise_gemm(self.ch, kernel, out, out, name))
+        self.size = out
+        return self
+
+    def pool(self, factor: int = 2) -> "_ConvTape":
+        self.size = max(self.size // factor, 1)
+        return self
+
+    def fc(self, out_features: int, name: str = "") -> "_ConvTape":
+        in_features = self.ch * self.size * self.size
+        self.layers.append(linear_gemm(out_features, in_features, 1, name))
+        self.ch, self.size = out_features, 1
+        return self
+
+    def global_pool(self) -> "_ConvTape":
+        self.size = 1
+        return self
+
+
+def _ch(channels: int, width_mult: float) -> int:
+    """Width-multiplied channel count, rounded to a multiple of 8, min 8."""
+    return max(8, int(channels * width_mult + 4) // 8 * 8)
+
+
+# ----------------------------------------------------------------------
+# Classic CNNs
+# ----------------------------------------------------------------------
+def lenet5(in_size: int = 32) -> ModelWorkload:
+    """LeCun's LeNet-5 (the smallest workload in the zoo)."""
+    t = _ConvTape(in_size, in_ch=1)
+    t.conv(6, 5, padding=0, name="c1").pool()
+    t.conv(16, 5, padding=0, name="c3").pool()
+    t.fc(120, "f5").fc(84, "f6").fc(10, "out")
+    return ModelWorkload.from_layers(f"lenet5_{in_size}", t.layers, family="lenet")
+
+
+def alexnet(in_size: int = 224) -> ModelWorkload:
+    """AlexNet (single-tower variant)."""
+    t = _ConvTape(in_size)
+    t.conv(96, 11, stride=4, padding=2, name="conv1").pool()
+    t.conv(256, 5, name="conv2").pool()
+    t.conv(384, 3, name="conv3")
+    t.conv(384, 3, name="conv4")
+    t.conv(256, 3, name="conv5").pool()
+    t.size = 6 if in_size == 224 else max(t.size, 1)
+    t.fc(4096, "fc6").fc(4096, "fc7").fc(1000, "fc8")
+    return ModelWorkload.from_layers(f"alexnet_{in_size}", t.layers, family="alexnet")
+
+
+_VGG_PLANS = {
+    11: [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    13: [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    16: [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+         512, 512, 512, "M", 512, 512, 512, "M"],
+    19: [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+         512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def vgg(depth: int, in_size: int = 224) -> ModelWorkload:
+    """VGG-{11,13,16,19} with 3x3 convs and max-pool stages."""
+    if depth not in _VGG_PLANS:
+        raise ValueError(f"unsupported VGG depth {depth}")
+    t = _ConvTape(in_size)
+    for step in _VGG_PLANS[depth]:
+        if step == "M":
+            t.pool()
+        else:
+            t.conv(step, 3, name=f"conv{len(t.layers)}")
+    t.fc(4096, "fc1").fc(4096, "fc2").fc(1000, "fc3")
+    return ModelWorkload.from_layers(f"vgg{depth}_{in_size}", t.layers, family="vgg")
+
+
+# ----------------------------------------------------------------------
+# ResNets
+# ----------------------------------------------------------------------
+_RESNET_PLANS = {
+    18: ("basic", [2, 2, 2, 2]),
+    34: ("basic", [3, 4, 6, 3]),
+    50: ("bottleneck", [3, 4, 6, 3]),
+    101: ("bottleneck", [3, 4, 23, 3]),
+    152: ("bottleneck", [3, 8, 36, 3]),
+}
+
+
+def resnet(depth: int, in_size: int = 224) -> ModelWorkload:
+    """ImageNet ResNet-{18,34,50,101,152} (He et al. 2016)."""
+    if depth not in _RESNET_PLANS:
+        raise ValueError(f"unsupported ResNet depth {depth}")
+    block, stages = _RESNET_PLANS[depth]
+    t = _ConvTape(in_size)
+    t.conv(64, 7, stride=2, padding=3, name="stem").pool()
+
+    widths = [64, 128, 256, 512]
+    for stage, (width, blocks) in enumerate(zip(widths, stages)):
+        for b in range(blocks):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            tag = f"s{stage}b{b}"
+            if block == "basic":
+                t.conv(width, 3, stride=stride, name=f"{tag}.conv1")
+                t.conv(width, 3, name=f"{tag}.conv2")
+            else:
+                t.conv(width, 1, stride=1, padding=0, name=f"{tag}.conv1")
+                t.conv(width, 3, stride=stride, name=f"{tag}.conv2")
+                t.conv(width * 4, 1, padding=0, name=f"{tag}.conv3")
+            if b == 0:  # projection shortcut
+                t.layers.append(conv2d_gemm(
+                    t.ch, widths[stage - 1] * (4 if block == "bottleneck" else 1)
+                    if stage > 0 else 64,
+                    1, t.size, t.size, f"{tag}.proj"))
+    t.global_pool()
+    t.fc(1000, "fc")
+    return ModelWorkload.from_layers(f"resnet{depth}_{in_size}", t.layers,
+                                     family="resnet")
+
+
+def cifar_resnet(depth: int, in_size: int = 32) -> ModelWorkload:
+    """CIFAR-style ResNet-{20,32,44,56,110}: 3 stages of 16/32/64 channels."""
+    if (depth - 2) % 6 != 0:
+        raise ValueError("CIFAR ResNet depth must be 6n + 2")
+    n = (depth - 2) // 6
+    t = _ConvTape(in_size)
+    t.conv(16, 3, name="stem")
+    for stage, width in enumerate([16, 32, 64]):
+        for b in range(n):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            t.conv(width, 3, stride=stride, name=f"s{stage}b{b}.conv1")
+            t.conv(width, 3, name=f"s{stage}b{b}.conv2")
+    t.global_pool()
+    t.fc(10, "fc")
+    return ModelWorkload.from_layers(f"cifar_resnet{depth}_{in_size}", t.layers,
+                                     family="cifar_resnet")
+
+
+# ----------------------------------------------------------------------
+# Mobile CNNs
+# ----------------------------------------------------------------------
+def mobilenet_v1(width_mult: float = 1.0, in_size: int = 224) -> ModelWorkload:
+    """MobileNetV1 depthwise-separable stack."""
+    plan = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+            (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+            (1024, 2), (1024, 1)]
+    t = _ConvTape(in_size)
+    t.conv(_ch(32, width_mult), 3, stride=2, name="stem")
+    for i, (out_ch, stride) in enumerate(plan):
+        t.depthwise(3, stride=stride, name=f"dw{i}")
+        t.conv(_ch(out_ch, width_mult), 1, padding=0, name=f"pw{i}")
+    t.global_pool()
+    t.fc(1000, "fc")
+    tag = str(width_mult).replace(".", "")
+    return ModelWorkload.from_layers(f"mobilenetv1_{tag}_{in_size}", t.layers,
+                                     family="mobilenet")
+
+
+def mobilenet_v2(width_mult: float = 1.0, in_size: int = 224) -> ModelWorkload:
+    """MobileNetV2 inverted residual stack (expansion-depthwise-projection)."""
+    # (expansion, out_ch, repeats, stride)
+    plan = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+            (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+    t = _ConvTape(in_size)
+    t.conv(_ch(32, width_mult), 3, stride=2, name="stem")
+    for i, (exp, out_ch, repeats, stride) in enumerate(plan):
+        for r in range(repeats):
+            s = stride if r == 0 else 1
+            hidden = t.ch * exp
+            if exp != 1:
+                t.conv(hidden, 1, padding=0, name=f"b{i}.{r}.expand")
+            t.depthwise(3, stride=s, name=f"b{i}.{r}.dw")
+            t.conv(_ch(out_ch, width_mult), 1, padding=0, name=f"b{i}.{r}.project")
+    t.conv(max(1280, _ch(1280, width_mult)), 1, padding=0, name="head")
+    t.global_pool()
+    t.fc(1000, "fc")
+    tag = str(width_mult).replace(".", "")
+    return ModelWorkload.from_layers(f"mobilenetv2_{tag}_{in_size}", t.layers,
+                                     family="mobilenet")
+
+
+# ----------------------------------------------------------------------
+# DenseNet / SqueezeNet
+# ----------------------------------------------------------------------
+_DENSENET_PLANS = {121: [6, 12, 24, 16], 169: [6, 12, 32, 32],
+                   201: [6, 12, 48, 32]}
+
+
+def densenet(depth: int, in_size: int = 224, growth: int = 32) -> ModelWorkload:
+    """DenseNet-{121,169,201}: dense blocks with 1x1+3x3 composite layers."""
+    if depth not in _DENSENET_PLANS:
+        raise ValueError(f"unsupported DenseNet depth {depth}")
+    t = _ConvTape(in_size)
+    t.conv(2 * growth, 7, stride=2, padding=3, name="stem").pool()
+    channels = 2 * growth
+    for stage, blocks in enumerate(_DENSENET_PLANS[depth]):
+        for b in range(blocks):
+            t.ch = channels
+            t.conv(4 * growth, 1, padding=0, name=f"d{stage}.{b}.bottleneck")
+            t.conv(growth, 3, name=f"d{stage}.{b}.conv")
+            channels += growth
+        if stage < 3:  # transition: halve channels and resolution
+            t.ch = channels
+            channels = channels // 2
+            t.conv(channels, 1, padding=0, name=f"t{stage}")
+            t.pool()
+    t.ch = channels
+    t.global_pool()
+    t.fc(1000, "fc")
+    return ModelWorkload.from_layers(f"densenet{depth}_{in_size}", t.layers,
+                                     family="densenet")
+
+
+def squeezenet(in_size: int = 224) -> ModelWorkload:
+    """SqueezeNet v1.1 fire modules (squeeze 1x1 -> expand 1x1 + 3x3)."""
+    fires = [(16, 64), (16, 64), (32, 128), (32, 128),
+             (48, 192), (48, 192), (64, 256), (64, 256)]
+    t = _ConvTape(in_size)
+    t.conv(64, 3, stride=2, padding=0, name="stem").pool()
+    for i, (squeeze, expand) in enumerate(fires):
+        if i in (2, 4):
+            t.pool()
+        t.conv(squeeze, 1, padding=0, name=f"fire{i}.squeeze")
+        in_ch = t.ch
+        t.conv(expand, 1, padding=0, name=f"fire{i}.expand1")
+        t.ch = in_ch
+        t.conv(expand, 3, name=f"fire{i}.expand3")
+        t.ch = expand * 2
+    t.conv(1000, 1, padding=0, name="conv10")
+    return ModelWorkload.from_layers(f"squeezenet_{in_size}", t.layers,
+                                     family="squeezenet")

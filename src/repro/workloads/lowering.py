@@ -1,0 +1,64 @@
+"""Lowering DNN layers to GEMM operands (M, K) x (K, N).
+
+The Table-I problem is formulated over GEMM layers; real networks are
+mapped onto it with the standard lowerings:
+
+* **conv2d** via im2col: the filter matrix (out_ch x in_ch*kh*kw)
+  multiplies the unfolded input patches (in_ch*kh*kw x oh*ow), so
+  ``M = out_ch, K = in_ch*kh*kw, N = oh*ow``.
+* **linear / projection**: ``y = W x`` over a token batch gives
+  ``M = out_features, K = in_features, N = tokens``.
+* **attention score / context** GEMMs per head:
+  ``Q K^T``: M = seq, K = head_dim, N = seq;
+  ``A V``:   M = seq, K = seq,      N = head_dim.
+* **depthwise conv**: each channel is an independent (1 x kh*kw) x
+  (kh*kw x oh*ow) product; represented as a single grouped GEMM with
+  ``M = channels, K = kh*kw, N = oh*ow`` (the channel dimension is
+  data-parallel, matching how MAESTRO maps grouped convs).
+"""
+
+from __future__ import annotations
+
+from ..maestro import GemmWorkload
+
+__all__ = ["conv2d_gemm", "depthwise_gemm", "linear_gemm",
+           "attention_score_gemm", "attention_context_gemm", "conv_out_size"]
+
+
+def conv_out_size(in_size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution along one axis."""
+    out = (in_size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"convolution output size {out} < 1 "
+                         f"(in={in_size}, k={kernel}, s={stride}, p={padding})")
+    return out
+
+
+def conv2d_gemm(out_ch: int, in_ch: int, kernel: int, out_h: int, out_w: int,
+                name: str = "") -> GemmWorkload:
+    """im2col lowering of a (square-kernel) conv layer."""
+    return GemmWorkload(m=out_ch, k=in_ch * kernel * kernel,
+                        n=out_h * out_w, name=name)
+
+
+def depthwise_gemm(channels: int, kernel: int, out_h: int, out_w: int,
+                   name: str = "") -> GemmWorkload:
+    """Grouped/depthwise conv as a channel-parallel GEMM."""
+    return GemmWorkload(m=channels, k=kernel * kernel,
+                        n=out_h * out_w, name=name)
+
+
+def linear_gemm(out_features: int, in_features: int, tokens: int,
+                name: str = "") -> GemmWorkload:
+    """Fully-connected / projection layer over a token batch."""
+    return GemmWorkload(m=out_features, k=in_features, n=tokens, name=name)
+
+
+def attention_score_gemm(seq: int, head_dim: int, name: str = "") -> GemmWorkload:
+    """Q K^T for one attention head."""
+    return GemmWorkload(m=seq, k=head_dim, n=seq, name=name)
+
+
+def attention_context_gemm(seq: int, head_dim: int, name: str = "") -> GemmWorkload:
+    """Attention-weights times V for one attention head."""
+    return GemmWorkload(m=seq, k=seq, n=head_dim, name=name)

@@ -1,0 +1,138 @@
+"""Analysis utilities: PCA, landscape, long-tail, embedding metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PCA, EmbeddingStats, alignment,
+                            embedding_stats, gini, grid_landscape_stats,
+                            input_sensitivity, label_histogram,
+                            longtail_stats, uniformity)
+
+
+class TestPCA:
+    def test_identifies_dominant_axis(self, rng):
+        x = np.zeros((200, 3))
+        x[:, 0] = rng.normal(0, 10, 200)
+        x[:, 1] = rng.normal(0, 0.1, 200)
+        pca = PCA(2).fit(x)
+        assert abs(pca.components_[0, 0]) > 0.99
+
+    def test_explained_variance_sums_below_one(self, rng):
+        x = rng.normal(size=(100, 5))
+        pca = PCA(2).fit(x)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0
+
+    def test_transform_centres_data(self, rng):
+        x = rng.normal(loc=100.0, size=(50, 4))
+        coords = PCA(2).fit_transform(x)
+        np.testing.assert_allclose(coords.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_reconstruction_identity_for_full_rank(self, rng):
+        x = rng.normal(size=(30, 3))
+        pca = PCA(3).fit(x)
+        coords = pca.transform(x)
+        recon = coords @ pca.components_ + pca.mean_
+        np.testing.assert_allclose(recon, x, atol=1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(5).fit(rng.normal(size=(3, 2)))
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(rng.normal(size=(3, 4)))
+
+
+class TestLandscape:
+    def test_convex_bowl_single_minimum(self):
+        x, y = np.meshgrid(np.arange(20), np.arange(10), indexing="ij")
+        grid = (x - 10) ** 2 + (y - 5) ** 2 + 1.0
+        stats = grid_landscape_stats(grid)
+        assert stats.num_local_minima == 1
+        assert stats.convexity_gap == pytest.approx(0.0)
+
+    def test_eggbox_many_minima(self):
+        x, y = np.meshgrid(np.arange(20), np.arange(20), indexing="ij")
+        grid = np.sin(x * 1.5) + np.cos(y * 1.5) + 3.0
+        stats = grid_landscape_stats(grid)
+        assert stats.num_local_minima > 4
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            grid_landscape_stats(np.arange(5.0))
+
+    def test_input_sensitivity_zero_for_constant_labels(self, rng):
+        inputs = rng.integers(1, 100, size=(100, 4))
+        pe = np.full(100, 7)
+        l2 = np.full(100, 3)
+        assert input_sensitivity(inputs, pe, l2, rng=rng) == 0.0
+
+    def test_input_sensitivity_positive_for_random_labels(self, rng):
+        inputs = rng.integers(1, 100, size=(100, 4))
+        pe = rng.integers(0, 64, 100)
+        l2 = rng.integers(0, 12, 100)
+        assert input_sensitivity(inputs, pe, l2, rng=rng) > 1.0
+
+
+class TestLongTail:
+    def test_histogram(self):
+        counts = label_histogram(np.array([0, 0, 1, 5]), 8)
+        np.testing.assert_array_equal(counts, [2, 1, 0, 0, 0, 1, 0, 0])
+
+    def test_gini_uniform_is_zero(self):
+        assert gini(np.full(10, 5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert gini(counts) > 0.95
+
+    def test_stats_on_long_tailed_labels(self, rng):
+        # Zipf-ish labels.
+        labels = rng.zipf(2.0, 2000) % 50
+        stats = longtail_stats(labels, 50)
+        assert stats.head_share_top5 > 0.5
+        assert stats.coverage_80pct < 25
+        assert stats.imbalance_ratio > 10
+
+    def test_stats_on_uniform_labels(self, rng):
+        labels = rng.integers(0, 50, 5000)
+        stats = longtail_stats(labels, 50)
+        assert stats.head_share_top5 < 0.2
+        assert stats.gini < 0.2
+
+
+class TestEmbeddingMetrics:
+    def _clusters(self, rng, spread):
+        centres = np.array([[5.0, 0], [-5.0, 0], [0, 5.0]])
+        z = np.concatenate([c + rng.normal(0, spread, (30, 2))
+                            for c in centres])
+        labels = np.repeat([0, 1, 2], 30)
+        return z, labels
+
+    def test_alignment_lower_for_tight_clusters(self, rng):
+        z_tight, labels = self._clusters(rng, 0.05)
+        z_loose, _ = self._clusters(rng, 2.0)
+        assert alignment(z_tight, labels, rng=rng) < \
+            alignment(z_loose, labels, rng=rng)
+
+    def test_uniformity_lower_for_spread_points(self, rng):
+        spread = rng.normal(size=(100, 8))
+        collapsed = np.ones((100, 8)) + rng.normal(0, 1e-3, (100, 8))
+        assert uniformity(spread, rng=rng) < uniformity(collapsed, rng=rng)
+
+    def test_separation_higher_for_clusters(self, rng):
+        z, labels = self._clusters(rng, 0.1)
+        shuffled = labels[rng.permutation(len(labels))]
+        good = embedding_stats(z, labels, rng=rng)
+        bad = embedding_stats(z, shuffled, rng=rng)
+        assert good.separation > bad.separation
+
+    def test_stats_dataclass_fields(self, rng):
+        z, labels = self._clusters(rng, 0.5)
+        stats = embedding_stats(z, labels, rng=rng)
+        assert isinstance(stats, EmbeddingStats)
+        assert np.isfinite([stats.alignment, stats.uniformity,
+                            stats.separation]).all()

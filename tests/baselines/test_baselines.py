@@ -1,0 +1,165 @@
+"""Learning-based baselines: v1 MLP, GANDSE, VAESA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (GANDSE, GANDSEConfig, AirchitectV1, V1Config,
+                             VAESA, VAESAConfig, train_gandse, train_v1,
+                             train_vaesa)
+from repro.dse import generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def train_data(problem):
+    return generate_random_dataset(problem, 400, np.random.default_rng(31))
+
+
+class TestAirchitectV1:
+    def test_joint_head_size(self, problem, rng):
+        model = AirchitectV1(V1Config(), problem, rng)
+        pe, l2 = model.forward(problem.sample_inputs(5, rng))
+        assert pe.shape == (5, 768) and l2 is None
+
+    def test_uov_heads(self, problem, rng):
+        model = AirchitectV1(V1Config(head_style="uov", num_buckets=8),
+                             problem, rng)
+        pe, l2 = model.forward(problem.sample_inputs(5, rng))
+        assert pe.shape == (5, 8) and l2.shape == (5, 8)
+
+    def test_invalid_head_style(self):
+        with pytest.raises(ValueError):
+            V1Config(head_style="multi")
+
+    def test_training_loss_decreases(self, problem, train_data):
+        model = AirchitectV1(V1Config(epochs=5), problem,
+                             np.random.default_rng(0))
+        history = train_v1(model, train_data)
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_uov_variant_trains(self, problem, train_data):
+        model = AirchitectV1(V1Config(epochs=3, head_style="uov"), problem,
+                             np.random.default_rng(0))
+        history = train_v1(model, train_data)
+        assert np.isfinite(history["loss"]).all()
+
+    def test_predictions_in_range(self, problem, train_data):
+        model = AirchitectV1(V1Config(epochs=2), problem,
+                             np.random.default_rng(0))
+        train_v1(model, train_data)
+        pe, l2 = model.predict_indices(train_data.inputs)
+        assert (pe >= 0).all() and (pe < 64).all()
+        assert (l2 >= 0).all() and (l2 < 12).all()
+
+    def test_uov_head_much_smaller_than_joint(self, problem, rng):
+        joint = AirchitectV1(V1Config(), problem, rng)
+        uov = AirchitectV1(V1Config(head_style="uov"), problem, rng)
+        assert uov.head_parameter_count() * 5 < joint.head_parameter_count()
+
+    def test_learns_better_than_random(self, problem, train_data):
+        from repro.core import evaluate_predictions
+        model = AirchitectV1(V1Config(epochs=15), problem,
+                             np.random.default_rng(0))
+        train_v1(model, train_data)
+        pe, l2 = model.predict_indices(train_data.inputs)
+        metrics = evaluate_predictions(problem, train_data, pe, l2,
+                                       compute_regret=False)
+        assert metrics.accuracy > 0.05
+
+
+class TestGANDSE:
+    def test_generator_output_in_unit_box(self, problem, rng):
+        model = GANDSE(GANDSEConfig(), problem, rng)
+        from repro import nn
+        feats = nn.Tensor(problem.featurize(problem.sample_inputs(6, rng)))
+        noise = nn.Tensor(rng.normal(size=(6, model.config.noise_dim)))
+        out = model.generator(feats, noise).numpy()
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_adversarial_training_runs(self, problem, train_data):
+        model = GANDSE(GANDSEConfig(epochs=3), problem,
+                       np.random.default_rng(0))
+        history = train_gandse(model, train_data)
+        assert len(history["g_loss"]) == 3
+        assert np.isfinite(history["g_loss"]).all()
+        assert np.isfinite(history["d_loss"]).all()
+
+    def test_predictions_in_range(self, problem, train_data):
+        model = GANDSE(GANDSEConfig(epochs=2), problem,
+                       np.random.default_rng(0))
+        train_gandse(model, train_data)
+        pe, l2 = model.predict_indices(train_data.inputs[:50])
+        assert (pe >= 0).all() and (pe < 64).all()
+        assert (l2 >= 0).all() and (l2 < 12).all()
+
+    def test_discriminator_separates_real_fake_early(self, problem,
+                                                     train_data):
+        """After training, D should score dataset-optimal designs above
+        random designs on average."""
+        rng = np.random.default_rng(0)
+        model = GANDSE(GANDSEConfig(epochs=8), problem, rng)
+        train_gandse(model, train_data)
+        from repro import nn
+        feats = nn.Tensor(problem.featurize(train_data.inputs[:100]))
+        real = model.normalise_labels(train_data)[:100]
+        fake = rng.random((100, 2))
+        with nn.no_grad():
+            d_real = model.discriminator(feats, nn.Tensor(real)).numpy()
+            d_fake = model.discriminator(feats, nn.Tensor(fake)).numpy()
+        assert d_real.mean() > d_fake.mean()
+
+
+class TestVAESA:
+    def test_training_reduces_reconstruction(self, problem, train_data):
+        model = VAESA(VAESAConfig(epochs=6), problem, np.random.default_rng(0))
+        history = train_vaesa(model, train_data)
+        assert history["recon"][-1] < history["recon"][0]
+
+    def test_decode_to_indices_shape(self, problem, train_data, rng):
+        model = VAESA(VAESAConfig(epochs=1), problem, np.random.default_rng(0))
+        train_vaesa(model, train_data)
+        z = rng.normal(size=(5, model.config.latent_dim))
+        pe, l2 = model.decode_to_indices(z)
+        assert pe.shape == (5,) and l2.shape == (5,)
+        assert (pe >= 0).all() and (pe < 64).all()
+
+    def test_search_improves_over_first_sample(self, problem, train_data,
+                                               oracle):
+        from repro.search.bo import BOConfig
+        model = VAESA(VAESAConfig(epochs=4), problem, np.random.default_rng(0))
+        train_vaesa(model, train_data)
+        rng = np.random.default_rng(7)
+        pe, l2, result = model.search(train_data.inputs[0], rng,
+                                      BOConfig(init_points=4, iterations=8),
+                                      oracle=oracle)
+        assert result.history[-1] <= result.history[0]
+        assert 0 <= pe < 64 and 0 <= l2 < 12
+
+    def test_latent_reconstruction_of_known_designs(self, problem, train_data):
+        """Encoding then decoding a dataset design should approximately
+        recover it (the 'reconstructible latent space' property of [11])."""
+        from repro import nn
+        model = VAESA(VAESAConfig(epochs=30), problem,
+                      np.random.default_rng(0))
+        train_vaesa(model, train_data)
+        space = problem.space
+        designs = np.stack([train_data.pe_idx / (space.n_pe - 1),
+                            train_data.l2_idx / (space.n_l2 - 1)], axis=1)
+        with nn.no_grad():
+            mu, _ = model.encode(nn.Tensor(designs))
+            recon = model.decode(mu).numpy()
+        err = np.abs(recon - designs).mean()
+        assert err < 0.2
+
+    def test_latent_space_covers_design_diversity(self, problem, train_data,
+                                                  rng):
+        """Sampling the latent prior must decode to *many* distinct designs
+        (no posterior collapse), or BO search would be pointless."""
+        model = VAESA(VAESAConfig(epochs=10), problem,
+                      np.random.default_rng(0))
+        train_vaesa(model, train_data)
+        z = rng.normal(size=(256, model.config.latent_dim))
+        pe, l2 = model.decode_to_indices(z)
+        distinct = len(set(zip(pe.tolist(), l2.tolist())))
+        assert distinct >= 10

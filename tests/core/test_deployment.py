@@ -1,0 +1,110 @@
+"""Deployment methods 1 and 2 (§III-E): optimality and consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeploymentEvaluator
+from repro.workloads import build_workload, lenet5
+
+
+@pytest.fixture(scope="module")
+def evaluator(problem):
+    return DeploymentEvaluator(problem)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("resnet50_224")
+
+
+class TestModelLatency:
+    def test_positive_latency(self, evaluator, workload):
+        assert evaluator.model_latency(workload, 64, 256) > 0
+
+    def test_count_weighting(self, evaluator, problem):
+        """Doubling a layer's multiplicity doubles its contribution."""
+        from repro.maestro import GemmWorkload
+        from repro.workloads import ModelWorkload
+        single = ModelWorkload("one", (GemmWorkload(64, 64, 64),), (1,))
+        double = ModelWorkload("two", (GemmWorkload(64, 64, 64),), (2,))
+        l1 = evaluator.model_latency(single, 64, 256)
+        l2 = evaluator.model_latency(double, 64, 256)
+        assert l2 == pytest.approx(2 * l1)
+
+    def test_flexible_dataflow_no_worse_than_fixed(self, problem, workload):
+        flexible = DeploymentEvaluator(problem, dataflow=None)
+        fixed = DeploymentEvaluator(problem, dataflow="ws")
+        assert flexible.model_latency(workload, 64, 256) <= \
+            fixed.model_latency(workload, 64, 256) + 1e-9
+
+    def test_layer_inputs_clamped(self, evaluator, workload, problem):
+        tuples = evaluator.layer_inputs(workload)
+        b = problem.bounds
+        assert tuples[:, 0].max() <= b.m_max
+        assert tuples[:, 1].max() <= b.n_max
+        assert tuples[:, 2].max() <= b.k_max
+
+
+class TestMethod1:
+    def test_picks_minimum_over_candidates(self, evaluator, workload):
+        pe = np.array([0, 20, 40])
+        l2 = np.array([0, 5, 9])
+        result = evaluator.method1(workload, pe, l2)
+        for p, l in zip(pe, l2):
+            pes = int(evaluator.problem.space.pe_choices[p])
+            l2kb = int(evaluator.problem.space.l2_choices[l])
+            assert result.total_latency <= \
+                evaluator.model_latency(workload, pes, l2kb) + 1e-9
+
+    def test_result_config_among_candidates(self, evaluator, workload):
+        pe = np.array([3, 17])
+        l2 = np.array([2, 8])
+        result = evaluator.method1(workload, pe, l2)
+        assert (result.pe_idx, result.l2_idx) in {(3, 2), (17, 8)}
+
+    def test_duplicate_candidates_deduped(self, evaluator, workload):
+        pe = np.array([10] * 5)
+        l2 = np.array([4] * 5)
+        result = evaluator.method1(workload, pe, l2)
+        assert (result.pe_idx, result.l2_idx) == (10, 4)
+
+
+class TestMethod2:
+    def test_bottleneck_config_adopted(self, evaluator, workload):
+        n = workload.num_unique_layers
+        pe = np.arange(n) % 64
+        l2 = np.arange(n) % 12
+        result = evaluator.method2(workload, pe, l2)
+        assert (result.pe_idx, result.l2_idx) in set(zip(pe.tolist(),
+                                                         l2.tolist()))
+
+    def test_method1_no_worse_than_method2(self, evaluator, workload, rng):
+        """Method 1 optimises the model-level objective directly, so it can
+        never lose to Method 2 on the same candidate set."""
+        n = workload.num_unique_layers
+        pe = rng.integers(0, 64, n)
+        l2 = rng.integers(0, 12, n)
+        m1 = evaluator.method1(workload, pe, l2)
+        m2 = evaluator.method2(workload, pe, l2)
+        assert m1.total_latency <= m2.total_latency + 1e-9
+
+
+class TestOracleDeployment:
+    def test_oracle_beats_any_candidate_selection(self, evaluator, rng):
+        workload = lenet5()
+        oracle = evaluator.oracle_deployment(workload)
+        n = workload.num_unique_layers
+        for _ in range(3):
+            pe = rng.integers(0, 64, n)
+            l2 = rng.integers(0, 12, n)
+            m1 = evaluator.method1(workload, pe, l2)
+            assert oracle.total_latency <= m1.total_latency + 1e-9
+
+    def test_oracle_result_fields(self, evaluator):
+        workload = lenet5()
+        result = evaluator.oracle_deployment(workload)
+        assert result.num_pes in evaluator.problem.space.pe_choices
+        assert result.l2_kb in evaluator.problem.space.l2_choices
+        assert len(result.per_layer_latency) == workload.num_unique_layers

@@ -1,0 +1,95 @@
+"""Prediction metrics and the user-facing predictor API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (AirchitectV2, DSEPredictor, ModelConfig,
+                        evaluate_predictions)
+
+
+class TestMetricsMaths:
+    def test_perfect_predictions(self, problem, small_dataset, oracle):
+        metrics = evaluate_predictions(problem, small_dataset,
+                                       small_dataset.pe_idx,
+                                       small_dataset.l2_idx, oracle=oracle)
+        assert metrics.accuracy == 1.0
+        assert metrics.pe_accuracy == 1.0
+        assert metrics.l2_accuracy == 1.0
+        assert metrics.mean_regret == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_wrong_predictions(self, problem, small_dataset, oracle):
+        wrong_pe = (small_dataset.pe_idx + 7) % 64
+        wrong_l2 = (small_dataset.l2_idx + 5) % 12
+        metrics = evaluate_predictions(problem, small_dataset, wrong_pe,
+                                       wrong_l2, oracle=oracle)
+        assert metrics.accuracy == 0.0
+        assert metrics.mean_regret > 0.0
+
+    def test_partial_accuracy(self, problem, small_dataset, oracle):
+        pe = small_dataset.pe_idx.copy()
+        pe[:len(pe) // 2] = (pe[:len(pe) // 2] + 9) % 64
+        metrics = evaluate_predictions(problem, small_dataset, pe,
+                                       small_dataset.l2_idx, oracle=oracle,
+                                       compute_regret=False)
+        assert metrics.accuracy == pytest.approx(0.5, abs=0.01)
+        assert metrics.l2_accuracy == 1.0
+
+    def test_bucket_accuracy_gte_exact(self, problem, small_dataset, oracle,
+                                       rng):
+        from repro.uov import UOVCodec
+        pe_codec = UOVCodec(64, 16)
+        l2_codec = UOVCodec(12, 16)
+        noisy_pe = np.clip(small_dataset.pe_idx
+                           + rng.integers(-2, 3, len(small_dataset)), 0, 63)
+        metrics = evaluate_predictions(problem, small_dataset, noisy_pe,
+                                       small_dataset.l2_idx,
+                                       pe_codec=pe_codec, l2_codec=l2_codec,
+                                       oracle=oracle, compute_regret=False)
+        assert metrics.bucket_accuracy >= metrics.accuracy
+
+    def test_regret_nonnegative_for_strict_oracle(self, problem, rng):
+        """With tolerance 0, no prediction can beat the oracle optimum."""
+        from repro.dse import ExhaustiveOracle, generate_random_dataset
+        strict = ExhaustiveOracle(problem, tolerance=0.0)
+        data = generate_random_dataset(problem, 100, rng, oracle=strict)
+        rand_pe = rng.integers(0, 64, 100)
+        rand_l2 = rng.integers(0, 12, 100)
+        metrics = evaluate_predictions(problem, data, rand_pe, rand_l2,
+                                       oracle=strict)
+        assert metrics.mean_regret >= -1e-9
+
+    def test_as_dict_keys(self, problem, small_dataset, oracle):
+        metrics = evaluate_predictions(problem, small_dataset,
+                                       small_dataset.pe_idx,
+                                       small_dataset.l2_idx, oracle=oracle,
+                                       compute_regret=False)
+        assert set(metrics.as_dict()) == {"accuracy", "pe_accuracy",
+                                          "l2_accuracy", "bucket_accuracy",
+                                          "mean_regret"}
+
+
+class TestPredictorAPI:
+    def test_predict_returns_physical_values(self, problem, rng):
+        config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8)
+        model = AirchitectV2(config, problem, rng)
+        predictor = DSEPredictor(model)
+        pes, l2 = predictor.predict(64, 512, 256, 0)
+        assert pes[0] in problem.space.pe_choices
+        assert l2[0] in problem.space.l2_choices
+
+    def test_predict_clamps_out_of_range_workloads(self, problem, rng):
+        config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8)
+        model = AirchitectV2(config, problem, rng)
+        predictor = DSEPredictor(model)
+        pes, l2 = predictor.predict(10 ** 9, 10 ** 9, 10 ** 9, 2)
+        assert len(pes) == 1  # no crash, feature clamped
+
+    def test_predict_vectorised(self, problem, rng):
+        config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8)
+        model = AirchitectV2(config, problem, rng)
+        predictor = DSEPredictor(model)
+        m = np.array([8, 16, 32])
+        pes, l2 = predictor.predict(m, m * 2, m * 3, np.array([0, 1, 2]))
+        assert pes.shape == (3,)

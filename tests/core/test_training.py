@@ -1,0 +1,118 @@
+"""Stage-1 and stage-2 training: losses fall, freezing works, ablation flags."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (AirchitectV2, ModelConfig, Stage1Config, Stage1Trainer,
+                        Stage2Config, Stage2Trainer, contrastive_labels)
+from repro.dse import generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def train_data(problem):
+    return generate_random_dataset(problem, 400, np.random.default_rng(21))
+
+
+def _model(problem, seed=0, **overrides):
+    config = dict(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+                  head_hidden=16, num_buckets=8)
+    config.update(overrides)
+    return AirchitectV2(ModelConfig(**config), problem,
+                        np.random.default_rng(seed))
+
+
+class TestStage1:
+    def test_loss_decreases(self, problem, train_data):
+        model = _model(problem)
+        history = Stage1Trainer(model, Stage1Config(epochs=6)).train(train_data)
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_contrastive_labels_shape_and_range(self, problem, train_data):
+        model = _model(problem)
+        labels = contrastive_labels(model, train_data)
+        assert labels.shape == (len(train_data),)
+        assert labels.max() < model.pe_codec.num_buckets * \
+            model.l2_codec.num_buckets
+
+    def test_decoder_untouched_by_stage1(self, problem, train_data):
+        model = _model(problem)
+        before = {k: v.copy() for k, v in model.decoder.state_dict().items()}
+        Stage1Trainer(model, Stage1Config(epochs=2)).train(train_data)
+        after = model.decoder.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_encoder_changes_in_stage1(self, problem, train_data):
+        model = _model(problem)
+        before = {k: v.copy() for k, v in model.encoder.state_dict().items()}
+        Stage1Trainer(model, Stage1Config(epochs=2)).train(train_data)
+        changed = any(not np.array_equal(before[k], v)
+                      for k, v in model.encoder.state_dict().items())
+        assert changed
+
+    @pytest.mark.parametrize("use_c,use_p", [(False, False), (True, False),
+                                             (False, True), (True, True)])
+    def test_all_ablation_variants_train(self, problem, train_data, use_c,
+                                         use_p):
+        model = _model(problem)
+        config = Stage1Config(epochs=2, use_contrastive=use_c, use_perf=use_p)
+        history = Stage1Trainer(model, config).train(train_data)
+        assert np.isfinite(history["loss"]).all()
+
+    def test_contrastive_improves_separation(self, problem, train_data):
+        """Stage-1 with L_C must separate bucket classes better than the
+        perf-only encoder (the Fig. 5 claim, unit-sized)."""
+        from repro.analysis import embedding_stats
+        from repro.nn import no_grad
+
+        scores = {}
+        for use_c in (True, False):
+            model = _model(problem, seed=3)
+            Stage1Trainer(model, Stage1Config(
+                epochs=8, use_contrastive=use_c)).train(train_data)
+            labels = contrastive_labels(model, train_data)
+            with no_grad():
+                z = model.embed(train_data.inputs).numpy()
+            scores[use_c] = embedding_stats(z, labels).separation
+        assert scores[True] > scores[False]
+
+
+class TestStage2:
+    def test_loss_decreases(self, problem, train_data):
+        model = _model(problem)
+        Stage1Trainer(model, Stage1Config(epochs=2)).train(train_data)
+        history = Stage2Trainer(model, Stage2Config(epochs=6)).train(train_data)
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_encoder_frozen_during_stage2(self, problem, train_data):
+        """§III-D: encoder weights fixed to prevent gradient backprop."""
+        model = _model(problem)
+        Stage1Trainer(model, Stage1Config(epochs=1)).train(train_data)
+        before = {k: v.copy() for k, v in model.encoder.state_dict().items()}
+        Stage2Trainer(model, Stage2Config(epochs=3)).train(train_data)
+        for key, value in model.encoder.state_dict().items():
+            np.testing.assert_array_equal(before[key], value)
+
+    def test_encoder_unfrozen_after_stage2(self, problem, train_data):
+        model = _model(problem)
+        Stage2Trainer(model, Stage2Config(epochs=1)).train(train_data)
+        assert all(p.requires_grad for p in model.encoder.parameters())
+
+    @pytest.mark.parametrize("style", ["uov", "classification", "joint",
+                                       "regression"])
+    def test_all_head_styles_train(self, problem, train_data, style):
+        model = _model(problem, head_style=style)
+        history = Stage2Trainer(model, Stage2Config(epochs=2)).train(train_data)
+        assert np.isfinite(history["loss"]).all()
+
+    def test_training_improves_over_random(self, problem, train_data):
+        """After both stages, accuracy must beat random guessing."""
+        from repro.core import evaluate_model
+        model = _model(problem, d_model=24, embed_dim=12)
+        Stage1Trainer(model, Stage1Config(epochs=8)).train(train_data)
+        Stage2Trainer(model, Stage2Config(epochs=8)).train(train_data)
+        metrics = evaluate_model(model, train_data, compute_regret=False)
+        assert metrics.accuracy > 2.0 / 768  # >> random over the label space
+        assert metrics.l2_accuracy > 1.5 / 12

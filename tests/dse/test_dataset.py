@@ -1,0 +1,115 @@
+"""Dataset generation, persistence, splits, training targets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import (DSEDataset, generate_random_dataset,
+                       generate_workload_dataset)
+
+
+class TestGeneration:
+    def test_random_dataset_fields(self, problem, small_dataset):
+        ds = small_dataset
+        assert len(ds) == 600
+        assert ds.inputs.shape == (600, 4)
+        assert (ds.pe_idx >= 0).all() and (ds.pe_idx < 64).all()
+        assert (ds.l2_idx >= 0).all() and (ds.l2_idx < 12).all()
+        assert (ds.best_cost > 0).all()
+
+    def test_workload_dataset_covers_dataflows(self, problem, rng):
+        layers = np.array([[64, 128, 96], [32, 64, 48]])
+        ds = generate_workload_dataset(problem, layers, rng)
+        assert len(ds) == 6  # 2 layers x 3 dataflows
+        assert set(np.unique(ds.inputs[:, 3])) == {0, 1, 2}
+
+    def test_workload_dataset_augmentation(self, problem, rng):
+        layers = np.array([[64, 128, 96]])
+        ds = generate_workload_dataset(problem, layers, rng, target_count=50)
+        assert len(ds) == 50
+        b = problem.bounds
+        assert ds.inputs[:, 0].max() <= b.m_max
+        assert ds.inputs[:, 1].max() <= b.n_max
+
+    def test_layer_clamping(self, problem, rng):
+        layers = np.array([[10 ** 6, 10 ** 6, 10 ** 6]])
+        ds = generate_workload_dataset(problem, layers, rng)
+        b = problem.bounds
+        assert ds.inputs[:, 0].max() == b.m_max
+        assert ds.inputs[:, 1].max() == b.n_max
+        assert ds.inputs[:, 2].max() == b.k_max
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DSEDataset(np.zeros((3, 4), dtype=np.int64), np.zeros(2),
+                       np.zeros(3), np.zeros(3))
+
+
+class TestTargetsAndLabels:
+    def test_perf_targets_zscored(self, small_dataset):
+        perf, mean, std = small_dataset.perf_targets()
+        assert abs(perf.mean()) < 1e-9
+        assert perf.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_perf_targets_with_frozen_stats(self, small_dataset):
+        _, mean, std = small_dataset.perf_targets()
+        perf2, m2, s2 = small_dataset.perf_targets(mean=mean, std=std)
+        assert (m2, s2) == (mean, std)
+
+    def test_joint_labels_range(self, problem, small_dataset):
+        labels = small_dataset.joint_labels(problem.space.n_l2)
+        assert labels.min() >= 0 and labels.max() < problem.space.size
+
+    def test_joint_labels_invertible(self, problem, small_dataset):
+        labels = small_dataset.joint_labels(problem.space.n_l2)
+        pe, l2 = problem.space.unflatten(labels)
+        np.testing.assert_array_equal(pe, small_dataset.pe_idx)
+        np.testing.assert_array_equal(l2, small_dataset.l2_idx)
+
+
+class TestSplitAndPersistence:
+    def test_split_sizes(self, small_dataset, rng):
+        train, test = small_dataset.split(0.25, rng)
+        assert len(test) == 150 and len(train) == 450
+
+    def test_split_disjoint(self, small_dataset, rng):
+        train, test = small_dataset.split(0.5, rng)
+        train_rows = {tuple(r) + (c,) for r, c in
+                      zip(train.inputs, train.best_cost)}
+        test_rows = {tuple(r) + (c,) for r, c in
+                     zip(test.inputs, test.best_cost)}
+        assert len(train_rows | test_rows) >= len(small_dataset) * 0.95
+
+    def test_save_load_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        small_dataset.save(path)
+        loaded = DSEDataset.load(path)
+        np.testing.assert_array_equal(loaded.inputs, small_dataset.inputs)
+        np.testing.assert_array_equal(loaded.pe_idx, small_dataset.pe_idx)
+        np.testing.assert_allclose(loaded.best_cost, small_dataset.best_cost)
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset(np.array([3, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.inputs, small_dataset.inputs[[3, 5, 7]])
+
+
+class TestDatasetCharacteristics:
+    """The dataset-level phenomena the paper builds on (Fig. 3)."""
+
+    def test_long_tailed_labels(self, problem, small_dataset):
+        from repro.analysis import longtail_stats
+        labels = small_dataset.joint_labels(problem.space.n_l2)
+        stats = longtail_stats(labels, problem.space.size)
+        # A small head of classes dominates...
+        assert stats.head_share_top5 > 0.15
+        # ...while many classes are still in use.
+        assert stats.num_classes_used > 30
+        assert stats.gini > 0.5
+
+    def test_labels_depend_on_dataflow(self, problem, oracle):
+        inputs = np.array([[128, 900, 600, df] for df in range(3)])
+        result = oracle.solve(inputs)
+        labels = result.pe_idx * problem.space.n_l2 + result.l2_idx
+        assert len(set(labels.tolist())) >= 2

@@ -1,0 +1,90 @@
+"""Exhaustive oracle: exactness, tolerance rule, cost_at consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DSEProblem, ExhaustiveOracle
+from repro.maestro import CostModel
+
+
+class TestExactness:
+    def test_strict_oracle_matches_manual_argmin(self, problem, rng):
+        oracle = ExhaustiveOracle(problem, tolerance=0.0)
+        inputs = problem.sample_inputs(20, rng)
+        result = oracle.solve(inputs, keep_grid=True)
+        for i in range(20):
+            grid = result.cost_grid[i]
+            arg = np.unravel_index(np.argmin(grid), grid.shape)
+            assert (result.pe_idx[i], result.l2_idx[i]) == arg
+            assert result.best_cost[i] == pytest.approx(grid.min())
+
+    def test_label_cost_is_true_cost(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = problem.sample_inputs(10, rng)
+        result = oracle.solve(inputs)
+        recomputed = oracle.cost_at(inputs, result.pe_idx, result.l2_idx)
+        np.testing.assert_allclose(recomputed, result.best_cost, rtol=1e-12)
+
+
+class TestToleranceRule:
+    def test_tolerant_label_within_tolerance_of_min(self, problem, rng):
+        tol = 0.05
+        oracle = ExhaustiveOracle(problem, tolerance=tol)
+        inputs = problem.sample_inputs(30, rng)
+        result = oracle.solve(inputs, keep_grid=True)
+        mins = result.cost_grid.reshape(30, -1).min(axis=1)
+        assert (result.best_cost <= mins * (1 + tol) + 1e-9).all()
+
+    def test_tolerant_label_is_cheapest_acceptable(self, problem, rng):
+        """No acceptable config may precede the label in grid order."""
+        tol = 0.05
+        oracle = ExhaustiveOracle(problem, tolerance=tol)
+        inputs = problem.sample_inputs(10, rng)
+        result = oracle.solve(inputs, keep_grid=True)
+        for i in range(10):
+            flat = result.cost_grid[i].reshape(-1)
+            label = result.pe_idx[i] * problem.space.n_l2 + result.l2_idx[i]
+            acceptable = flat <= flat.min() * (1 + tol)
+            assert acceptable[label]
+            assert not acceptable[:label].any()
+
+    def test_zero_tolerance_recovers_argmin(self, problem, rng):
+        inputs = problem.sample_inputs(15, rng)
+        strict = ExhaustiveOracle(problem, tolerance=0.0).solve(inputs)
+        manual = ExhaustiveOracle(problem, tolerance=0.0).solve(inputs,
+                                                                keep_grid=True)
+        np.testing.assert_array_equal(strict.pe_idx, manual.pe_idx)
+
+    def test_tolerance_prefers_cheaper_resources(self, problem, rng):
+        """Relaxing the tolerance can only move labels toward cheaper
+        (earlier-ordered) configurations."""
+        inputs = problem.sample_inputs(40, rng)
+        strict = ExhaustiveOracle(problem, tolerance=0.0).solve(inputs)
+        loose = ExhaustiveOracle(problem, tolerance=0.10).solve(inputs)
+        strict_label = strict.pe_idx * problem.space.n_l2 + strict.l2_idx
+        loose_label = loose.pe_idx * problem.space.n_l2 + loose.l2_idx
+        assert (loose_label <= strict_label).all()
+
+    def test_negative_tolerance_rejected(self, problem):
+        with pytest.raises(ValueError):
+            ExhaustiveOracle(problem, tolerance=-0.1)
+
+
+class TestMetricVariants:
+    def test_energy_oracle_differs_from_latency(self, rng):
+        lat_problem = DSEProblem(metric="latency")
+        en_problem = DSEProblem(metric="energy")
+        inputs = lat_problem.sample_inputs(50, rng)
+        lat = ExhaustiveOracle(lat_problem).solve(inputs)
+        en = ExhaustiveOracle(en_problem).solve(inputs)
+        # Energy optima favour fewer resources; labels must differ somewhere.
+        assert (lat.pe_idx != en.pe_idx).any() or (lat.l2_idx != en.l2_idx).any()
+
+    def test_dataflow_groups_handled(self, problem):
+        oracle = ExhaustiveOracle(problem)
+        inputs = np.array([[64, 64, 64, 0], [64, 64, 64, 1], [64, 64, 64, 2]])
+        result = oracle.solve(inputs)
+        assert len(result.pe_idx) == 3
+        assert np.isfinite(result.best_cost).all()

@@ -1,0 +1,85 @@
+"""DSE problem formulation: sampling, clamping, featurisation, tokenisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DSEProblem, FeatureBounds
+
+
+class TestSampling:
+    def test_samples_within_bounds(self, problem, rng):
+        inputs = problem.sample_inputs(500, rng)
+        b = problem.bounds
+        assert inputs.shape == (500, 4)
+        assert inputs[:, 0].min() >= 1 and inputs[:, 0].max() <= b.m_max
+        assert inputs[:, 1].min() >= 1 and inputs[:, 1].max() <= b.n_max
+        assert inputs[:, 2].min() >= 1 and inputs[:, 2].max() <= b.k_max
+        assert set(np.unique(inputs[:, 3])) <= {0, 1, 2}
+
+    def test_log_uniform_favours_small_dims(self, problem, rng):
+        logu = problem.sample_inputs(4000, rng, log_uniform=True)
+        uni = problem.sample_inputs(4000, rng, log_uniform=False)
+        assert np.median(logu[:, 1]) < np.median(uni[:, 1])
+
+    def test_deterministic_under_seed(self, problem):
+        a = problem.sample_inputs(50, np.random.default_rng(5))
+        b = problem.sample_inputs(50, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_clamp(self, problem):
+        m, n, k = problem.clamp_inputs(10 ** 6, 0, 500)
+        assert int(m) == problem.bounds.m_max
+        assert int(n) == 1
+        assert int(k) == 500
+
+
+class TestFeaturisation:
+    def test_feature_shape_and_range(self, problem, rng):
+        inputs = problem.sample_inputs(100, rng)
+        feats = problem.featurize(inputs)
+        assert feats.shape == (100, 6)
+        assert (feats >= 0).all() and (feats <= 1).all()
+
+    def test_onehot_dataflow(self, problem):
+        feats = problem.featurize(np.array([[10, 10, 10, 1]]))
+        np.testing.assert_array_equal(feats[0, 3:], [0, 1, 0])
+
+    def test_max_dims_map_to_one(self, problem):
+        b = problem.bounds
+        feats = problem.featurize(np.array([[b.m_max, b.n_max, b.k_max, 0]]))
+        np.testing.assert_allclose(feats[0, :3], 1.0)
+
+    def test_tokenize_shape(self, problem, rng):
+        inputs = problem.sample_inputs(7, rng)
+        tokens = problem.tokenize(inputs)
+        assert tokens.shape == (7, 4, 2)
+
+    def test_token_type_channel(self, problem):
+        tokens = problem.tokenize(np.array([[5, 5, 5, 2]]))
+        np.testing.assert_allclose(tokens[0, :, 1], np.arange(4) / 3.0)
+
+    def test_monotone_in_dimension(self, problem):
+        small = problem.featurize(np.array([[2, 10, 10, 0]]))
+        large = problem.featurize(np.array([[200, 10, 10, 0]]))
+        assert large[0, 0] > small[0, 0]
+
+
+class TestMetric:
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            DSEProblem(metric="throughput")
+
+    def test_metric_array_selects(self, problem):
+        from repro.maestro import CostModel
+        out = CostModel().evaluate(8, 8, 8, "os", 64, 256)
+        assert DSEProblem(metric="latency").metric_array(out) is \
+            out.latency_cycles
+        assert DSEProblem(metric="energy").metric_array(out) is out.energy_pj
+        np.testing.assert_allclose(DSEProblem(metric="edp").metric_array(out),
+                                   out.edp)
+
+    def test_bounds_defaults_match_table1(self):
+        b = FeatureBounds()
+        assert (b.m_max, b.n_max, b.k_max, b.n_dataflows) == (256, 1677, 1185, 3)

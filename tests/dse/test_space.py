@@ -1,0 +1,76 @@
+"""Design space: Table-I structure, encodings, snapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DesignSpace, default_space
+
+
+class TestTableIStructure:
+    def test_64_pe_choices(self, problem):
+        assert problem.space.n_pe == 64
+
+    def test_12_buffer_choices(self, problem):
+        assert problem.space.n_l2 == 12
+
+    def test_768_design_points(self, problem):
+        assert problem.space.size == 768
+
+    def test_complexity_order_1e9(self, problem):
+        assert 1e9 < problem.bounds.complexity < 1e10
+
+
+class TestEncodings:
+    def test_flat_label_roundtrip(self, problem):
+        space = problem.space
+        pe = np.arange(space.n_pe).repeat(space.n_l2)
+        l2 = np.tile(np.arange(space.n_l2), space.n_pe)
+        labels = space.flat_label(pe, l2)
+        np.testing.assert_array_equal(labels, np.arange(space.size))
+        back_pe, back_l2 = space.unflatten(labels)
+        np.testing.assert_array_equal(back_pe, pe)
+        np.testing.assert_array_equal(back_l2, l2)
+
+    def test_values_lookup(self, problem):
+        space = problem.space
+        pes, l2 = space.values(0, 0)
+        assert pes == space.pe_choices[0]
+        assert l2 == space.l2_choices[0]
+
+    def test_grid_shapes(self, problem):
+        pes, l2 = problem.space.grid()
+        assert pes.shape == (64, 12) and l2.shape == (64, 12)
+
+    def test_snap_exact_values(self, problem):
+        space = problem.space
+        idx = space.snap_pe(space.pe_choices.astype(float))
+        np.testing.assert_array_equal(idx, np.arange(space.n_pe))
+
+    def test_snap_between_values(self, problem):
+        space = problem.space
+        # 11 is closer to 8 than 16
+        assert int(space.snap_pe(11.0)) == 0
+        assert int(space.snap_pe(13.0)) == 1
+
+    def test_snap_out_of_range_clamps(self, problem):
+        space = problem.space
+        assert int(space.snap_pe(1e9)) == space.n_pe - 1
+        assert int(space.snap_l2(0.0)) == 0
+
+    def test_random_point_in_range(self, problem, rng):
+        for _ in range(20):
+            pe, l2 = problem.space.random_point(rng)
+            assert 0 <= pe < 64 and 0 <= l2 < 12
+
+
+class TestValidation:
+    def test_choices_must_increase(self):
+        with pytest.raises(ValueError):
+            DesignSpace(np.array([8, 8, 16]), np.array([16, 32]))
+
+    def test_default_space_values(self):
+        space = default_space()
+        assert space.pe_choices[0] == 8 and space.pe_choices[-1] == 512
+        assert space.l2_choices[0] == 16 and space.l2_choices[-1] == 32768

@@ -1,0 +1,77 @@
+"""Extension ablations: deployment methods, metrics, oracle tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (run_deployment_ablation,
+                                         run_metric_ablation,
+                                         run_tolerance_ablation)
+
+
+class TestDeploymentAblation:
+    def test_method1_dominates_method2(self, session_workspace):
+        out = run_deployment_ablation("tiny", session_workspace)
+        for name, entry in out["results"].items():
+            assert entry["method1"].total_latency <= \
+                entry["method2"].total_latency + 1e-9, name
+            assert entry["oracle"].total_latency <= \
+                entry["method1"].total_latency + 1e-9, name
+
+
+class TestMetricAblation:
+    def test_energy_prefers_smaller_configs(self):
+        out = run_metric_ablation("tiny", samples=600)
+        stats = out["stats"]
+        # Energy optima avoid over-provisioning: fewer PEs on average than
+        # the latency-optimal designs.
+        assert stats["energy"]["mean_pes"] <= stats["latency"]["mean_pes"]
+
+    def test_all_metrics_have_diverse_optima(self):
+        out = run_metric_ablation("tiny", samples=600)
+        for metric, entry in out["stats"].items():
+            assert entry["distinct_optima"] > 5, metric
+
+    def test_edp_between_latency_and_energy(self):
+        out = run_metric_ablation("tiny", samples=600)
+        stats = out["stats"]
+        lo = min(stats["latency"]["mean_pes"], stats["energy"]["mean_pes"])
+        hi = max(stats["latency"]["mean_pes"], stats["energy"]["mean_pes"])
+        assert lo - 16 <= stats["edp"]["mean_pes"] <= hi + 16
+
+
+class TestToleranceAblation:
+    def test_cost_ratio_bounded_by_tolerance(self):
+        tolerances = (0.0, 0.02, 0.05)
+        out = run_tolerance_ablation("tiny", samples=500,
+                                     tolerances=tolerances)
+        for tol in tolerances:
+            ratio = out["stats"][tol]["mean_cost_ratio"]
+            assert ratio <= 1.0 + tol + 1e-9
+
+    def test_looser_tolerance_saves_resources(self):
+        out = run_tolerance_ablation("tiny", samples=500,
+                                     tolerances=(0.0, 0.10))
+        assert out["stats"][0.10]["mean_pes"] <= \
+            out["stats"][0.0]["mean_pes"]
+
+    def test_strict_tolerance_is_reference(self):
+        out = run_tolerance_ablation("tiny", samples=300,
+                                     tolerances=(0.0,))
+        assert out["stats"][0.0]["mean_cost_ratio"] == pytest.approx(1.0)
+
+
+class TestCLI:
+    def test_cli_runs_ablation(self, capsys, tmp_path):
+        from repro.cli import main
+        code = main(["ablation-tolerance", "--scale", "tiny",
+                     "--cache", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tolerance" in captured.out
+
+    def test_cli_rejects_unknown_experiment(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["fig99", "--cache", str(tmp_path)])

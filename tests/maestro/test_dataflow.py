@@ -1,0 +1,94 @@
+"""Dataflow spatial analysis: mapping identities and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maestro import Dataflow, array_dims, spatial_analysis
+
+
+class TestDataflowEnum:
+    def test_from_any_accepts_all_spellings(self):
+        assert Dataflow.from_any("ws") is Dataflow.WEIGHT_STATIONARY
+        assert Dataflow.from_any("OS") is Dataflow.OUTPUT_STATIONARY
+        assert Dataflow.from_any(2) is Dataflow.ROW_STATIONARY
+        assert Dataflow.from_any(Dataflow.WEIGHT_STATIONARY) is \
+            Dataflow.WEIGHT_STATIONARY
+        assert Dataflow.from_any("row_stationary") is Dataflow.ROW_STATIONARY
+
+    def test_from_any_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Dataflow.from_any("zigzag")
+
+    def test_three_dataflows(self):
+        assert len(list(Dataflow)) == 3
+
+
+class TestArrayDims:
+    def test_square(self):
+        assert array_dims(64) == (8, 8)
+
+    def test_near_square(self):
+        assert array_dims(32) == (4, 8)
+
+    def test_prime(self):
+        assert array_dims(7) == (1, 7)
+
+    def test_product_invariant(self):
+        for p in [8, 24, 100, 328, 512]:
+            a, b = array_dims(p)
+            assert a * b == p and a <= b
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            array_dims(0)
+
+
+class TestSpatialAnalysis:
+    def test_streamed_dimension_per_dataflow(self):
+        """WS streams M, OS streams K, RS streams N (Table-I semantics)."""
+        m, n, k = 10, 20, 30
+        assert int(spatial_analysis("ws", m, n, k, 64).stream) == m
+        assert int(spatial_analysis("os", m, n, k, 64).stream) == k
+        assert int(spatial_analysis("rs", m, n, k, 64).stream) == n
+
+    def test_steps_cover_all_work(self):
+        s = spatial_analysis("os", 100, 100, 8, 64)
+        assert int(s.steps) == int(np.ceil(100 * 100 / 64))
+
+    def test_full_utilization_when_divisible(self):
+        s = spatial_analysis("os", 8, 8, 4, 64)
+        assert float(s.utilization) == pytest.approx(1.0)
+
+    def test_under_utilization_for_small_work(self):
+        s = spatial_analysis("os", 2, 2, 100, 512)
+        assert float(s.utilization) == pytest.approx(4 / 512)
+
+    def test_utilization_bounded(self, rng):
+        m = rng.integers(1, 300, 50)
+        n = rng.integers(1, 300, 50)
+        k = rng.integers(1, 300, 50)
+        for df in Dataflow:
+            s = spatial_analysis(df, m, n, k, 128)
+            assert (s.utilization <= 1.0 + 1e-12).all()
+            assert (s.utilization > 0).all()
+
+    def test_fill_grows_with_pes(self):
+        small = spatial_analysis("os", 64, 64, 64, 16)
+        large = spatial_analysis("os", 64, 64, 64, 512)
+        assert int(large.fill) > int(small.fill)
+
+    def test_compute_cycles_decrease_with_pes_for_large_work(self):
+        small = spatial_analysis("os", 512, 512, 64, 32)
+        large = spatial_analysis("os", 512, 512, 64, 512)
+        assert float(large.compute_cycles) < float(small.compute_cycles)
+
+    def test_broadcasting_over_pe_grid(self):
+        pes = np.array([8, 64, 512])
+        s = spatial_analysis("ws", 64, 64, 64, pes)
+        assert s.compute_cycles.shape == (3,)
+
+    def test_compute_cycles_positive(self):
+        s = spatial_analysis("rs", 1, 1, 1, 8)
+        assert float(s.compute_cycles) > 0

@@ -1,0 +1,66 @@
+"""Property-based (hypothesis) invariants of the cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maestro import CostModel, Dataflow, analyze_tiling, spatial_analysis
+
+_model = CostModel()
+
+dims = st.integers(min_value=1, max_value=1677)
+pes = st.sampled_from([8, 16, 64, 128, 333, 512])
+l2s = st.sampled_from([16, 64, 512, 4096, 32768])
+dataflows = st.sampled_from(list(Dataflow))
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=dims, n=dims, k=dims, p=pes, l2=l2s, df=dataflows)
+def test_latency_finite_positive(m, n, k, p, l2, df):
+    out = _model.evaluate(m, n, k, df, p, l2)
+    assert np.isfinite(out.latency_cycles)
+    assert out.latency_cycles > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=dims, n=dims, k=dims, p=pes, l2=l2s, df=dataflows)
+def test_utilization_in_unit_interval(m, n, k, p, l2, df):
+    out = _model.evaluate(m, n, k, df, p, l2)
+    assert 0 < out.utilization <= 1.0 + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=dims, n=dims, k=dims, l2=l2s, df=dataflows)
+def test_dram_traffic_at_least_compulsory(m, n, k, l2, df):
+    t = analyze_tiling(df, m, n, k, l2 * 1024)
+    assert t.dram_elems >= m * k + k * n + m * n - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=dims, n=dims, k=dims, p=pes, df=dataflows)
+def test_compute_cycles_at_least_ideal(m, n, k, p, df):
+    """Cycles can never beat perfectly-utilised PEs on the spatial work."""
+    s = spatial_analysis(df, m, n, k, p)
+    ideal = s.work * s.stream / p
+    assert s.compute_cycles >= ideal - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, n=dims, k=dims, df=dataflows)
+def test_latency_monotone_nonincreasing_in_dram_bandwidth(m, n, k, df):
+    from repro.maestro import Technology
+    slow = CostModel(Technology(dram_bandwidth=2.0)).evaluate(m, n, k, df, 64, 256)
+    fast = CostModel(Technology(dram_bandwidth=32.0)).evaluate(m, n, k, df, 64, 256)
+    assert fast.latency_cycles <= slow.latency_cycles + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, n=dims, k=dims, p=pes, l2=l2s)
+def test_dataflow_symmetry_under_dimension_swap(m, n, k, p, l2):
+    """WS on (M,N,K) streams M; OS streams K: swapping the streamed dims
+    maps one dataflow's compute analysis onto the other's."""
+    ws = spatial_analysis("ws", m, n, k, p)     # spatial (K,N), stream M
+    os_ = spatial_analysis("os", k, n, m, p)    # spatial (K,N), stream M
+    assert float(ws.compute_cycles) == float(os_.compute_cycles)

@@ -1,0 +1,74 @@
+"""Tiling analysis: DRAM traffic bounds and monotonicity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maestro import Dataflow, analyze_tiling
+
+
+def _compulsory(m, n, k):
+    """Lower bound: each operand element must cross DRAM at least once."""
+    return m * k + k * n + m * n
+
+
+class TestTrafficBounds:
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_traffic_at_least_compulsory(self, df, rng):
+        m = rng.integers(1, 500, 30)
+        n = rng.integers(1, 500, 30)
+        k = rng.integers(1, 500, 30)
+        t = analyze_tiling(df, m, n, k, 64 * 1024)
+        assert (t.dram_elems >= _compulsory(m, n, k) - 1e-9).all()
+
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_huge_buffer_gives_compulsory_traffic(self, df):
+        m, n, k = 64, 128, 96
+        t = analyze_tiling(df, m, n, k, 10 ** 9)
+        assert float(t.dram_elems) == pytest.approx(_compulsory(m, n, k))
+
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_traffic_non_increasing_in_buffer(self, df):
+        m, n, k = 200, 300, 250
+        capacities = np.array([2 ** i for i in range(10, 24)])
+        traffic = np.array([float(analyze_tiling(df, m, n, k, c).dram_elems)
+                            for c in capacities])
+        assert (np.diff(traffic) <= 1e-9).all()
+
+    def test_stationary_operand_loaded_once(self):
+        m, n, k = 64, 128, 96
+        cap = 16 * 1024
+        assert float(analyze_tiling("ws", m, n, k, cap).traffic_b) == k * n
+        assert float(analyze_tiling("os", m, n, k, cap).traffic_c) == m * n
+        assert float(analyze_tiling("rs", m, n, k, cap).traffic_a) == m * k
+
+
+class TestSwitches:
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_switches_at_least_one(self, df, rng):
+        m = rng.integers(1, 300, 20)
+        n = rng.integers(1, 300, 20)
+        k = rng.integers(1, 300, 20)
+        t = analyze_tiling(df, m, n, k, 4096)
+        assert (t.switches >= 1).all()
+
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_small_buffer_means_more_switches(self, df):
+        m, n, k = 256, 256, 256
+        few = float(analyze_tiling(df, m, n, k, 10 ** 8).switches)
+        many = float(analyze_tiling(df, m, n, k, 2 ** 10).switches)
+        assert many > few
+
+
+class TestBroadcasting:
+    def test_grid_broadcast_shapes(self):
+        m = np.array([10, 20]).reshape(2, 1)
+        cap = np.array([1024, 4096, 16384]).reshape(1, 3)
+        t = analyze_tiling("os", m, 30, 40, cap)
+        assert t.dram_elems.shape == (2, 3)
+
+    def test_capacity_floor(self):
+        # Degenerate capacities are clamped; no division errors.
+        t = analyze_tiling("ws", 100, 100, 100, 1)
+        assert np.isfinite(t.dram_elems).all()

@@ -1,0 +1,47 @@
+"""GemmWorkload arithmetic and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.maestro import GemmWorkload
+
+
+class TestGemmWorkload:
+    def test_macs_and_flops(self):
+        w = GemmWorkload(4, 5, 6)
+        assert w.macs == 120
+        assert w.flops == 240
+
+    def test_operand_bytes(self):
+        w = GemmWorkload(2, 3, 4)
+        a, b, c = w.operand_bytes(element_bytes=2)
+        assert (a, b, c) == (2 * 4 * 2, 4 * 3 * 2, 2 * 3 * 2)
+
+    def test_total_bytes(self):
+        w = GemmWorkload(2, 3, 4)
+        assert w.total_bytes() == 8 + 12 + 6
+
+    def test_arithmetic_intensity(self):
+        w = GemmWorkload(10, 10, 10)
+        assert w.arithmetic_intensity() == pytest.approx(1000 / 300)
+
+    def test_intensity_grows_with_size(self):
+        small = GemmWorkload(8, 8, 8).arithmetic_intensity()
+        large = GemmWorkload(512, 512, 512).arithmetic_intensity()
+        assert large > small
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            GemmWorkload(0, 1, 1)
+        with pytest.raises(ValueError):
+            GemmWorkload(1, -2, 1)
+
+    def test_frozen(self):
+        w = GemmWorkload(1, 2, 3)
+        with pytest.raises(Exception):
+            w.m = 5
+
+    def test_str_contains_dims(self):
+        assert "M=2" in str(GemmWorkload(2, 3, 4, "conv1"))
+        assert "conv1" in str(GemmWorkload(2, 3, 4, "conv1"))

@@ -1,0 +1,123 @@
+"""Layer behaviour: Linear, LayerNorm, Embedding, Dropout, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_affine_map(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        out = layer(nn.Tensor(x)).numpy()
+        np.testing.assert_allclose(out, x @ layer.weight.data + layer.bias.data)
+
+    def test_batched_3d_input(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        out = layer(nn.Tensor(rng.normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 2)
+
+    def test_xavier_scale(self, rng):
+        layer = nn.Linear(1000, 1000, rng)
+        bound = np.sqrt(6.0 / 2000)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-12
+        assert layer.weight.data.std() == pytest.approx(bound / np.sqrt(3), rel=0.1)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self, rng):
+        ln = nn.LayerNorm(8)
+        x = rng.normal(loc=5.0, scale=3.0, size=(4, 8))
+        out = ln(nn.Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_params_learnable(self):
+        ln = nn.LayerNorm(4)
+        assert {n for n, _ in ln.named_parameters()} == {"gamma", "beta"}
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(6)
+        x = nn.Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        (ln(x) ** 2).sum().backward()
+        assert np.isfinite(x.grad).all()
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        out = emb(np.array([1, 3, 1])).numpy()
+        np.testing.assert_array_equal(out[0], out[2])
+        assert out.shape == (3, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(5, 4, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_gradient_accumulates_for_repeats(self, rng):
+        emb = nn.Embedding(5, 4, rng)
+        emb(np.array([2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0 * np.ones(4))
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        drop.eval()
+        x = rng.normal(size=(8, 8))
+        np.testing.assert_array_equal(drop(nn.Tensor(x)).numpy(), x)
+
+    def test_train_mode_scales_survivors(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        x = np.ones((100, 100))
+        out = drop(nn.Tensor(x)).numpy()
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_probability_identity(self, rng):
+        drop = nn.Dropout(0.0, rng)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(drop(nn.Tensor(x)).numpy(), x)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0, rng)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = nn.Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(nn.ReLU()(x).numpy(), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(size=100) * 10
+        out = nn.Sigmoid()(nn.Tensor(x)).numpy()
+        assert ((out > 0) & (out < 1)).all()
+        np.testing.assert_allclose(
+            nn.Sigmoid()(nn.Tensor(-x)).numpy(), 1.0 - out, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = nn.Sigmoid()(nn.Tensor(np.array([-1e4, 1e4]))).numpy()
+        assert np.isfinite(out).all()
+
+    def test_gelu_matches_reference(self):
+        x = np.linspace(-3, 3, 31)
+        out = nn.GELU()(nn.Tensor(x)).numpy()
+        ref = 0.5 * x * (1 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3)))
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_identity(self, rng):
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(nn.Identity()(nn.Tensor(x)).numpy(), x)
+
+    def test_tanh(self):
+        x = nn.Tensor(np.array([0.0, 100.0]))
+        out = nn.Tanh()(x).numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)

@@ -1,0 +1,127 @@
+"""Module system: parameter registration, freezing, state dicts, containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def _mlp(rng):
+    return nn.Sequential(nn.Linear(4, 8, rng), nn.ReLU(), nn.Linear(8, 2, rng))
+
+
+class TestParameterRegistration:
+    def test_linear_has_weight_and_bias(self, rng):
+        layer = nn.Linear(3, 5, rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(3, 5, rng, bias=False)
+        assert set(dict(layer.named_parameters())) == {"weight"}
+
+    def test_nested_names_are_dotted(self, rng):
+        model = _mlp(rng)
+        names = list(dict(model.named_parameters()))
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_num_parameters(self, rng):
+        model = nn.Linear(3, 5, rng)
+        assert model.num_parameters() == 3 * 5 + 5
+
+    def test_parameters_are_tensors_with_grad(self, rng):
+        for p in _mlp(rng).parameters():
+            assert isinstance(p, nn.Parameter)
+            assert p.requires_grad
+
+    def test_modulelist_registers_children(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng) for _ in range(3)])
+        assert len(ml.parameters()) == 6
+        assert len(ml) == 3
+
+    def test_modulelist_forward_raises(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng)])
+        with pytest.raises(RuntimeError):
+            ml(nn.Tensor(np.ones((1, 2))))
+
+
+class TestTrainEvalAndFreeze:
+    def test_train_eval_propagates(self, rng):
+        model = _mlp(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_requires_grad_freeze(self, rng):
+        model = _mlp(rng)
+        model.requires_grad_(False)
+        assert all(not p.requires_grad for p in model.parameters())
+        model.requires_grad_(True)
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_frozen_params_get_no_grad(self, rng):
+        model = _mlp(rng)
+        model.requires_grad_(False)
+        out = model(nn.Tensor(np.ones((2, 4)), requires_grad=True))
+        out.sum().backward()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_zero_grad_clears(self, rng):
+        model = _mlp(rng)
+        model(nn.Tensor(np.ones((2, 4)))).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        m1 = _mlp(rng)
+        m2 = _mlp(np.random.default_rng(777))
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(),
+                                      m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = nn.Linear(2, 2, rng)
+        state = model.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(model.weight.data, 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = nn.Linear(2, 2, rng)
+        state = model.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = nn.Linear(2, 2, rng)
+        state = model.state_dict()
+        state["ghost"] = np.ones(2)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = nn.Linear(2, 2, rng)
+        state = model.state_dict()
+        state["weight"] = np.ones((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        model = _mlp(rng)
+        out = model(nn.Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_len_and_getitem(self, rng):
+        model = _mlp(rng)
+        assert len(model) == 3
+        assert isinstance(model[0], nn.Linear)

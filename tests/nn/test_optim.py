@@ -1,0 +1,132 @@
+"""Optimisers and schedules: convergence on known problems, update maths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_steps(optimizer_cls, steps=200, **kwargs):
+    """Minimise ||x - t||^2 from a fixed start; returns final distance."""
+    target = np.array([3.0, -2.0, 0.5])
+    x = Parameter(np.zeros(3))
+    opt = optimizer_cls([x], **kwargs)
+    for _ in range(steps):
+        loss = ((x - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestConvergence:
+    def test_sgd_converges(self):
+        assert _quadratic_steps(nn.SGD, lr=0.1) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert _quadratic_steps(nn.SGD, lr=0.02, momentum=0.9, steps=400) < 1e-6
+
+    def test_adam_converges(self):
+        assert _quadratic_steps(nn.Adam, lr=0.1) < 1e-3
+
+    def test_adamw_converges(self):
+        assert _quadratic_steps(nn.AdamW, lr=0.1, weight_decay=1e-4) < 1e-2
+
+    def test_rosenbrock_adam(self):
+        """Adam should make strong progress on the classic banana valley."""
+        p = Parameter(np.array([-1.0, 1.0]))
+        opt = nn.Adam([p], lr=0.02)
+        def rosen(t):
+            a = t[1] - t[0] ** 2
+            b = 1.0 - t[0]
+            return (a ** 2) * 100.0 + b ** 2
+        start = rosen(Tensor(p.data)).item()
+        for _ in range(500):
+            loss = rosen(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert rosen(Tensor(p.data)).item() < start * 1e-2
+
+
+class TestMechanics:
+    def test_frozen_params_not_updated(self):
+        x = Parameter(np.ones(3))
+        x.requires_grad = False
+        x.grad = np.ones(3)
+        nn.SGD([x], lr=1.0).step()
+        np.testing.assert_array_equal(x.data, np.ones(3))
+
+    def test_none_grad_skipped(self):
+        x = Parameter(np.ones(3))
+        nn.Adam([x]).step()
+        np.testing.assert_array_equal(x.data, np.ones(3))
+
+    def test_sgd_single_step_value(self):
+        x = Parameter(np.array([1.0]))
+        x.grad = np.array([0.5])
+        nn.SGD([x], lr=0.2).step()
+        np.testing.assert_allclose(x.data, [0.9])
+
+    def test_adam_bias_correction_first_step(self):
+        x = Parameter(np.array([0.0]))
+        x.grad = np.array([1.0])
+        nn.Adam([x], lr=0.1).step()
+        # First Adam step magnitude is ~lr regardless of gradient scale.
+        np.testing.assert_allclose(x.data, [-0.1], rtol=1e-6)
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([10.0]))
+        x.grad = np.array([0.0])
+        nn.SGD([x], lr=0.1, weight_decay=0.5).step()
+        assert abs(float(x.data[0])) < 10.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        x = Parameter(np.ones(4))
+        x.grad = np.full(4, 10.0)
+        pre = nn.clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        x = Parameter(np.ones(4))
+        x.grad = np.full(4, 0.1)
+        nn.clip_grad_norm([x], max_norm=10.0)
+        np.testing.assert_allclose(x.grad, 0.1)
+
+
+class TestSchedules:
+    def test_cosine_endpoints(self):
+        sched = nn.cosine_schedule(100, min_mult=0.01)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.01)
+        assert sched(50) == pytest.approx(0.505, abs=1e-9)
+
+    def test_step_schedule(self):
+        sched = nn.step_schedule(10, gamma=0.5)
+        assert sched(9) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_warmup_then_decay(self):
+        sched = nn.warmup_cosine_schedule(5, 50)
+        assert sched(1) == pytest.approx(0.2)
+        assert sched(5) == pytest.approx(1.0)
+        assert sched(50) < 0.1
+
+    def test_scheduler_updates_optimizer(self):
+        x = Parameter(np.ones(1))
+        opt = nn.SGD([x], lr=1.0)
+        scheduler = nn.LRScheduler(opt, nn.step_schedule(1, gamma=0.1))
+        scheduler.step()
+        assert opt.lr == pytest.approx(0.1)
+        scheduler.step()
+        assert opt.lr == pytest.approx(0.01)

@@ -1,0 +1,102 @@
+"""Scale-Sim analytical systolic model: runtime equations and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scalesim import SystolicArray, SystolicMapping
+
+
+class TestRuntimeEquations:
+    def test_os_single_fold_formula(self):
+        """OS fold runtime is 2*rows + cols + K - 2 (Scale-Sim equation)."""
+        arr = SystolicArray(8, 8)
+        out = arr.run_gemm(8, 8, 32, SystolicMapping.OUTPUT_STATIONARY)
+        assert float(out.cycles) == 2 * 8 + 8 + 32 - 2
+        assert float(out.folds) == 1
+
+    def test_ws_single_fold_formula(self):
+        arr = SystolicArray(8, 8)
+        out = arr.run_gemm(32, 8, 8, SystolicMapping.WEIGHT_STATIONARY)
+        assert float(out.cycles) == 8 + 8 + 32 - 1
+
+    def test_is_single_fold_formula(self):
+        arr = SystolicArray(8, 8)
+        out = arr.run_gemm(8, 32, 8, SystolicMapping.INPUT_STATIONARY)
+        assert float(out.cycles) == 8 + 8 + 32 - 1
+
+    def test_fold_count(self):
+        arr = SystolicArray(8, 8)
+        out = arr.run_gemm(20, 20, 4, SystolicMapping.OUTPUT_STATIONARY)
+        assert float(out.folds) == np.ceil(20 / 8) ** 2
+
+    def test_cycles_scale_with_folds(self):
+        arr = SystolicArray(8, 8)
+        one = arr.run_gemm(8, 8, 16, SystolicMapping.OUTPUT_STATIONARY)
+        four = arr.run_gemm(16, 16, 16, SystolicMapping.OUTPUT_STATIONARY)
+        assert float(four.cycles) == 4 * float(one.cycles)
+
+
+class TestInvariants:
+    def test_utilization_bounded(self, rng):
+        arr = SystolicArray(16, 16)
+        m = rng.integers(1, 200, 30)
+        n = rng.integers(1, 200, 30)
+        k = rng.integers(1, 200, 30)
+        for mapping in SystolicMapping:
+            out = arr.run_gemm(m, n, k, mapping)
+            assert (out.utilization <= 1.0 + 1e-12).all()
+            assert (out.utilization > 0).all()
+
+    def test_small_layer_prefers_small_array(self):
+        """Same qualitative behaviour as the MAESTRO-style model: fill
+        overhead makes big arrays slower for tiny layers."""
+        small = SystolicArray(4, 4)
+        big = SystolicArray(64, 64)
+        mapping = SystolicMapping.OUTPUT_STATIONARY
+        tiny = (4, 4, 8)
+        assert float(small.run_gemm(*tiny, mapping).cycles) < \
+            float(big.run_gemm(*tiny, mapping).cycles)
+
+    def test_large_layer_prefers_big_array(self):
+        small = SystolicArray(4, 4)
+        big = SystolicArray(64, 64)
+        mapping = SystolicMapping.OUTPUT_STATIONARY
+        large = (512, 512, 256)
+        assert float(big.run_gemm(*large, mapping).cycles) < \
+            float(small.run_gemm(*large, mapping).cycles)
+
+    def test_sram_reads_at_least_operands(self, rng):
+        arr = SystolicArray(8, 8)
+        for mapping in SystolicMapping:
+            out = arr.run_gemm(64, 64, 64, mapping)
+            assert float(out.sram_reads) >= 64 * 64 * 2
+
+    def test_best_mapping_returns_minimum(self):
+        arr = SystolicArray(8, 8)
+        mapping, cycles = arr.best_mapping(100, 10, 10)
+        for other in SystolicMapping:
+            assert cycles <= float(arr.run_gemm(100, 10, 10, other).cycles)
+
+    def test_mapping_preference_depends_on_shape(self):
+        """Long-K workloads prefer a K-spatial mapping; long-M prefer OS —
+        the dataflow/shape interaction v1's DSE tasks exercise."""
+        arr = SystolicArray(16, 16)
+        best_long_k, _ = arr.best_mapping(8, 8, 2000)
+        best_long_m_n = arr.best_mapping(200, 200, 8)[0]
+        assert best_long_k != best_long_m_n
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 8)
+
+    def test_num_pes(self):
+        assert SystolicArray(8, 16).num_pes == 128
+
+    def test_broadcasting(self):
+        arr = SystolicArray(8, 8)
+        out = arr.run_gemm(np.array([8, 16, 32]), 8, 8,
+                           SystolicMapping.OUTPUT_STATIONARY)
+        assert out.cycles.shape == (3,)
+        assert (np.diff(out.cycles) > 0).all()

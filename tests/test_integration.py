@@ -1,0 +1,77 @@
+"""End-to-end integration: the full AIRCHITECT v2 pipeline on fresh data.
+
+Covers the complete user journey — generate a dataset from the cost model,
+train both stages, run one-shot inference, deploy to a model-level
+configuration — without any cached artefacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (AirchitectV2, DeploymentEvaluator, DSEPredictor,
+                        ModelConfig, Stage1Config, Stage1Trainer, Stage2Config,
+                        Stage2Trainer, evaluate_model)
+from repro.dse import DSEProblem, generate_random_dataset
+from repro.workloads import lenet5
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Train a small model once for the whole module."""
+    rng = np.random.default_rng(64)
+    problem = DSEProblem()
+    train = generate_random_dataset(problem, 600, rng)
+    test = generate_random_dataset(problem, 150, rng)
+    model = AirchitectV2(ModelConfig(d_model=24, n_layers=1, n_heads=2,
+                                     embed_dim=12, num_buckets=8),
+                         problem, rng)
+    h1 = Stage1Trainer(model, Stage1Config(epochs=10)).train(train)
+    h2 = Stage2Trainer(model, Stage2Config(epochs=10)).train(train)
+    return problem, model, train, test, h1, h2
+
+
+class TestEndToEnd:
+    def test_both_stages_converge(self, pipeline):
+        _, _, _, _, h1, h2 = pipeline
+        assert h1["loss"][-1] < h1["loss"][0]
+        assert h2["loss"][-1] < h2["loss"][0]
+
+    def test_generalises_to_unseen_samples(self, pipeline):
+        _, model, _, test, _, _ = pipeline
+        metrics = evaluate_model(model, test, compute_regret=True)
+        # Far better than the 1/768 random-guess rate, and near-optimal
+        # latency-wise.
+        assert metrics.accuracy > 0.02
+        assert metrics.mean_regret < 1.0
+
+    def test_train_accuracy_exceeds_test(self, pipeline):
+        problem, model, train, test, _, _ = pipeline
+        train_m = evaluate_model(model, train, compute_regret=False)
+        test_m = evaluate_model(model, test, compute_regret=False)
+        assert train_m.accuracy >= test_m.accuracy - 0.05
+
+    def test_predictor_to_deployment_roundtrip(self, pipeline):
+        problem, model, _, _, _, _ = pipeline
+        predictor = DSEPredictor(model)
+        workload = lenet5()
+        evaluator = DeploymentEvaluator(problem)
+        tuples = evaluator.layer_inputs(workload)
+        pe, l2 = predictor.predict_indices(tuples)
+        result = evaluator.method1(workload, pe, l2)
+        oracle = evaluator.oracle_deployment(workload)
+        assert result.total_latency >= oracle.total_latency - 1e-9
+        # A trained model should land within 10x of the deployment oracle.
+        assert result.total_latency <= oracle.total_latency * 10
+
+    def test_save_load_preserves_behaviour(self, pipeline, tmp_path):
+        from repro.nn import load_module, save_module
+        problem, model, _, test, _, _ = pipeline
+        save_module(model, tmp_path / "v2.npz")
+        clone = AirchitectV2(model.config, problem, np.random.default_rng(1))
+        load_module(clone, tmp_path / "v2.npz")
+        a = model.predict_indices(test.inputs[:32])
+        b = clone.predict_indices(test.inputs[:32])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

@@ -1,0 +1,133 @@
+"""UOV codec: Algorithm-1 structure, exact round-trips, noise robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uov import ORDINAL_THRESHOLD, UOVCodec
+
+
+class TestAlgorithmOneStructure:
+    """The three structural properties stated in §III-D."""
+
+    def test_values_in_unit_interval(self):
+        codec = UOVCodec(64, 16)
+        uov = codec.encode(np.arange(64))
+        assert (uov >= 0).all() and (uov < 1).all()
+
+    def test_zero_after_containing_bucket(self):
+        codec = UOVCodec(64, 16)
+        for value in [0, 17, 40, 63]:
+            uov = codec.encode(value)
+            n = int(codec.bucket_labels(value))
+            assert (uov[n + 1:] == 0).all()
+
+    def test_nonzero_monotone_prefix(self):
+        """Components before the containing bucket are non-zero and grow
+        toward earlier indices (farther below D)."""
+        codec = UOVCodec(64, 16)
+        uov = codec.encode(55)
+        n = int(codec.bucket_labels(55))
+        prefix = uov[:n]
+        assert (prefix > 0).all()
+        assert (np.diff(prefix) < 0).all()  # decreasing with index
+
+    def test_exponential_form(self):
+        """O_i = 1 - exp(-(u - i)) at the bucket coordinate."""
+        codec = UOVCodec(64, 16)
+        value = 30
+        u = float(codec.sid.to_coordinate(value))
+        uov = codec.encode(value)
+        for i in range(16):
+            expected = 1 - np.exp(-(u - i)) if u >= i else 0.0
+            assert uov[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_threshold_is_one_minus_inv_e(self):
+        assert ORDINAL_THRESHOLD == pytest.approx(1 - np.exp(-1))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("num_values,k", [(64, 16), (12, 16), (64, 4),
+                                              (64, 32), (12, 32), (64, 1),
+                                              (12, 1), (5, 3)])
+    def test_every_choice_roundtrips(self, num_values, k):
+        codec = UOVCodec(num_values, k)
+        values = np.arange(num_values)
+        back = codec.decode_to_choice(codec.encode(values))
+        np.testing.assert_array_equal(back, values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(min_value=0.0, max_value=63.99),
+           k=st.sampled_from([4, 8, 16, 32]))
+    def test_fractional_roundtrip(self, value, k):
+        codec = UOVCodec(64, k)
+        back = float(codec.decode(codec.encode(value)))
+        assert back == pytest.approx(value, abs=1e-6)
+
+    def test_batch_shapes(self):
+        codec = UOVCodec(64, 16)
+        uov = codec.encode(np.arange(10).reshape(2, 5))
+        assert uov.shape == (2, 5, 16)
+        back = codec.decode(uov)
+        assert back.shape == (2, 5)
+
+    def test_scalar_shapes(self):
+        codec = UOVCodec(64, 16)
+        uov = codec.encode(7)
+        assert uov.shape == (16,)
+        assert float(codec.decode(uov)) == pytest.approx(7.0)
+
+
+class TestRobustness:
+    def test_noise_tolerance(self, rng):
+        """Small perturbations of the UOV must mostly decode to the same
+        choice (the property that makes UOV heads trainable)."""
+        codec = UOVCodec(64, 16)
+        values = np.arange(64)
+        uov = codec.encode(values)
+        noisy = np.clip(uov + rng.normal(0, 0.03, uov.shape), 0, 0.999)
+        back = codec.decode_to_choice(noisy)
+        assert (np.abs(back - values) <= 2).mean() > 0.9
+
+    def test_decode_handles_all_zero(self):
+        codec = UOVCodec(64, 16)
+        assert int(codec.decode_to_choice(np.zeros(16))) == 0
+
+    def test_decode_handles_all_one(self):
+        codec = UOVCodec(64, 16)
+        choice = int(codec.decode_to_choice(np.full(16, 0.999)))
+        assert choice == 63
+
+    def test_decode_clips_out_of_range(self):
+        codec = UOVCodec(64, 16)
+        wild = np.array([2.0, -1.0] * 8)
+        value = float(codec.decode(wild))
+        assert 0 <= value < 64
+
+    def test_bucket_labels_match_sid(self):
+        codec = UOVCodec(64, 16)
+        values = np.arange(64)
+        np.testing.assert_array_equal(codec.bucket_labels(values),
+                                      codec.sid.bucket_of(values))
+
+    def test_k1_reverts_to_regression(self):
+        """K = 1: the single component is a pure regression channel."""
+        codec = UOVCodec(64, 1)
+        uov = codec.encode(np.arange(64))
+        assert uov.shape == (64, 1)
+        assert (np.diff(uov[:, 0]) > 0).all()  # strictly increasing in value
+
+    def test_large_k_approaches_classification(self):
+        """K = 64 over 64 values: each value gets its own bucket ->
+        the ordinal prefix alone identifies the choice."""
+        codec = UOVCodec(64, 64)
+        values = np.arange(64)
+        buckets = codec.bucket_labels(values)
+        assert len(np.unique(buckets)) > 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UOVCodec(0, 16)

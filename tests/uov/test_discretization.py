@@ -1,0 +1,90 @@
+"""Space Increasing Discretization: boundary maths and coordinate maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uov import SpaceIncreasingDiscretization
+
+
+class TestBoundaries:
+    def test_boundary_count(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        assert len(sid.boundaries) == 17
+        assert sid.boundaries[0] == 0.0
+        assert sid.boundaries[-1] == pytest.approx(64.0)
+
+    def test_widths_increase(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        assert (np.diff(sid.widths) > 0).all()
+
+    def test_width_proportional_to_index_plus_one(self):
+        sid = SpaceIncreasingDiscretization(100, 10)
+        ratios = sid.widths / (np.arange(10) + 1)
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_single_bucket(self):
+        sid = SpaceIncreasingDiscretization(64, 1)
+        assert sid.widths[0] == pytest.approx(64.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceIncreasingDiscretization(0, 4)
+        with pytest.raises(ValueError):
+            SpaceIncreasingDiscretization(10, 0)
+
+
+class TestBucketAssignment:
+    def test_zero_in_first_bucket(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        assert int(sid.bucket_of(0.0)) == 0
+
+    def test_max_in_last_bucket(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        assert int(sid.bucket_of(63.999)) == 15
+
+    def test_buckets_monotone(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        values = np.linspace(0, 63.99, 200)
+        buckets = sid.bucket_of(values)
+        assert (np.diff(buckets) >= 0).all()
+
+    def test_out_of_range_clipped(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        assert int(sid.bucket_of(-5.0)) == 0
+        assert int(sid.bucket_of(1000.0)) == 15
+
+    def test_all_buckets_reachable(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        buckets = sid.bucket_of(np.linspace(0, 63.99, 5000))
+        assert set(np.unique(buckets)) == set(range(16))
+
+
+class TestCoordinateMap:
+    @settings(max_examples=80, deadline=None)
+    @given(value=st.floats(min_value=0.0, max_value=63.999),
+           k=st.sampled_from([1, 4, 8, 16, 32]))
+    def test_roundtrip(self, value, k):
+        sid = SpaceIncreasingDiscretization(64, k)
+        back = float(sid.from_coordinate(sid.to_coordinate(value)))
+        assert back == pytest.approx(value, abs=1e-9)
+
+    def test_coordinate_in_range(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        u = sid.to_coordinate(np.linspace(0, 63.99, 500))
+        assert (u >= 0).all() and (u < 16).all()
+
+    def test_coordinate_monotone(self):
+        sid = SpaceIncreasingDiscretization(12, 16)
+        values = np.linspace(0, 11.99, 300)
+        u = sid.to_coordinate(values)
+        assert (np.diff(u) >= 0).all()
+
+    def test_integer_part_is_bucket(self):
+        sid = SpaceIncreasingDiscretization(64, 16)
+        values = np.linspace(0, 63.9, 100)
+        u = sid.to_coordinate(values)
+        np.testing.assert_array_equal(u.astype(int), sid.bucket_of(values))
