@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import (AirchitectV2, ModelConfig, Stage1Config, Stage1Trainer)
+from repro.core import (AirchitectV2, BatchedDSEPredictor, ModelConfig,
+                        Stage1Config, Stage1Trainer)
 from repro.dse import DSEProblem, ExhaustiveOracle, generate_random_dataset
 from repro.maestro import CostModel
 
@@ -44,13 +45,14 @@ def test_oracle_labelling_throughput(benchmark, problem):
 
 
 def test_v2_inference_throughput(benchmark, problem):
-    """One-shot DSE prediction for 1024 workloads."""
+    """One-shot DSE prediction for 1024 workloads (batched engine)."""
     rng = np.random.default_rng(2)
     model = AirchitectV2(ModelConfig(d_model=32, n_layers=2, n_heads=4,
                                      embed_dim=16), problem, rng)
+    engine = BatchedDSEPredictor(model, micro_batch_size=256)
     inputs = problem.sample_inputs(1024, rng)
 
-    pe, l2 = benchmark(model.predict_indices, inputs)
+    pe, l2 = benchmark(engine.predict_indices, inputs)
     assert len(pe) == 1024
 
 

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper artefact from the shell.
+"""Command-line interface: regenerate any paper artefact from the shell,
+or serve one-shot DSE predictions.
 
 Examples::
 
@@ -6,13 +7,20 @@ Examples::
     python -m repro fig7 --scale small     # deployment comparison
     python -m repro all --scale tiny       # every artefact, quickly
     python -m repro ablations              # extension studies
+
+    # Batched one-shot DSE serving (trains/loads the model once, cached):
+    python -m repro predict --batch --random 1000 --json
+    python -m repro predict --batch --input layers.csv --micro-batch 512
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+
+import numpy as np
 
 from .experiments import (SCALES, Workspace, run_fig3, run_fig4, run_fig5,
                           run_fig7, run_fig8a, run_fig8b, run_fig9,
@@ -55,10 +63,149 @@ def _print_result(name: str, out: dict) -> None:
     print()
 
 
+def _read_workload_file(path: str) -> np.ndarray:
+    """Parse workload tuples ``M N K [dataflow]`` (comma- or
+    whitespace-separated, ``#`` comments) from a file or ``-`` (stdin)."""
+    rows = []
+    handle = sys.stdin if path == "-" else open(path)
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            try:
+                if len(parts) not in (3, 4):
+                    raise ValueError("wrong column count")
+                m, n, k = (int(p) for p in parts[:3])
+                df = int(parts[3]) if len(parts) == 4 else 0
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: expected 'M N K "
+                                 f"[dataflow]' integers, got {line!r}") from None
+            rows.append((m, n, k, df))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if not rows:
+        raise ValueError(f"no workloads found in {path}")
+    return np.array(rows, dtype=np.int64)
+
+
+def predict_main(argv: list[str] | None = None) -> int:
+    """``repro predict``: one-shot DSE serving from the shell."""
+    from .core import BatchedDSEPredictor, DSEPredictor
+    from .experiments.common import get_datasets, get_problem, get_v2
+    from .experiments.harness import get_scale, render_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro predict",
+        description="Serve one-shot DSE predictions (optionally batched).")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", metavar="FILE",
+                        help="workload file: 'M N K [dataflow]' per line "
+                             "('-' reads stdin)")
+    source.add_argument("--random", type=int, metavar="N",
+                        help="sweep N random Table-I workloads instead")
+    parser.add_argument("--batch", action="store_true",
+                        help="use the batched inference engine (vectorised "
+                             "micro-batches) instead of the per-sample loop")
+    parser.add_argument("--micro-batch", type=int, default=1024,
+                        help="rows per forward pass in batched mode "
+                             "(default 1024)")
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES),
+                        help="model scale (default: $REPRO_SCALE or 'small')")
+    parser.add_argument("--cache", default=None,
+                        help="training-cache directory (default: "
+                             "$REPRO_CACHE or .repro_cache)")
+    parser.add_argument("--untrained", action="store_true",
+                        help="skip training and use a freshly initialised "
+                             "model (smoke tests / throughput checks)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for --random and --untrained")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON document instead of a table")
+    args = parser.parse_args(argv)
+    if args.micro_batch < 1:
+        parser.error("--micro-batch must be >= 1")
+
+    problem = get_problem()
+    scale = get_scale(args.scale)
+    if args.untrained:
+        from .core import AirchitectV2
+        model = AirchitectV2(scale.model_config(), problem,
+                             np.random.default_rng(args.seed))
+    else:
+        workspace = Workspace(args.cache)
+        train, _ = get_datasets(scale, workspace, problem)
+        model = get_v2(scale, train, workspace, problem)
+
+    if args.random is not None:
+        inputs = problem.sample_inputs(args.random,
+                                       np.random.default_rng(args.seed))
+    else:
+        inputs = _read_workload_file(args.input)
+        bad = (inputs[:, 3] < 0) | (inputs[:, 3] >= problem.bounds.n_dataflows)
+        if bad.any():
+            raise ValueError(
+                f"dataflow must be in 0..{problem.bounds.n_dataflows - 1}, "
+                f"got {sorted(set(inputs[bad, 3].tolist()))}")
+        m, n, k = problem.clamp_inputs(inputs[:, 0], inputs[:, 1], inputs[:, 2])
+        clamped = np.stack([m, n, k, inputs[:, 3]], axis=1)
+        changed = int((clamped[:, :3] != inputs[:, :3]).any(axis=1).sum())
+        if changed:
+            b = problem.bounds
+            print(f"warning: {changed} workload(s) clamped to the Table-I "
+                  f"feature ranges (M<={b.m_max}, N<={b.n_max}, "
+                  f"K<={b.k_max}); output shows the clamped dims",
+                  file=sys.stderr)
+        inputs = clamped
+
+    start = time.perf_counter()
+    if args.batch:
+        engine = BatchedDSEPredictor(model, micro_batch_size=args.micro_batch)
+        pe_idx, l2_idx = engine.predict_indices(inputs)
+    else:
+        predictor = DSEPredictor(model)
+        parts = [predictor.predict_indices(row) for row in inputs]
+        pe_idx = np.concatenate([p for p, _ in parts])
+        l2_idx = np.concatenate([l for _, l in parts])
+    elapsed = time.perf_counter() - start
+    num_pes, l2_kb = problem.space.values(pe_idx, l2_idx)
+
+    summary = {"samples": len(inputs),
+               "mode": "batched" if args.batch else "per-sample",
+               "micro_batch_size": args.micro_batch if args.batch else 1,
+               "elapsed_s": elapsed,
+               "samples_per_sec": len(inputs) / max(elapsed, 1e-12)}
+    if args.json:
+        doc = dict(summary)
+        doc["predictions"] = [
+            {"m": int(r[0]), "n": int(r[1]), "k": int(r[2]),
+             "dataflow": int(r[3]), "num_pes": int(p), "l2_kb": int(l)}
+            for r, p, l in zip(inputs, num_pes, l2_kb)]
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    else:
+        rows = [[int(r[0]), int(r[1]), int(r[2]), int(r[3]), int(p), int(l)]
+                for r, p, l in zip(inputs[:50], num_pes[:50], l2_kb[:50])]
+        print(render_table(["M", "N", "K", "dataflow", "num_pes", "l2_kb"],
+                           rows, title="One-shot DSE predictions"
+                           + (" (first 50)" if len(inputs) > 50 else "")))
+        print(f"{summary['samples']} samples in {elapsed:.3f}s "
+              f"({summary['samples_per_sec']:.0f} samples/sec, "
+              f"{summary['mode']})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "predict":
+        return predict_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate AIRCHITECT v2 paper tables and figures.")
+        description="Regenerate AIRCHITECT v2 paper tables and figures "
+                    "('repro predict --help' for the DSE serving mode).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all"],
                         help="which artefact to regenerate")

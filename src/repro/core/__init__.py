@@ -7,7 +7,8 @@ one-shot inference metrics, and the model-level deployment pipeline
 """
 
 from .deployment import DeploymentEvaluator, DeploymentResult
-from .inference import (DSEPredictor, PredictionMetrics, evaluate_model,
+from .inference import (BatchedDSEPredictor, BatchPrediction, DSEPredictor,
+                        PredictionMetrics, evaluate_model,
                         evaluate_predictions)
 from .model import (HEAD_STYLES, AirchitectDecoder, AirchitectEncoder,
                     AirchitectV2, ModelConfig, PerformanceHead)
@@ -19,7 +20,7 @@ __all__ = [
     "PerformanceHead", "HEAD_STYLES",
     "Stage1Config", "Stage1Trainer", "contrastive_labels",
     "Stage2Config", "Stage2Trainer",
-    "DSEPredictor", "PredictionMetrics", "evaluate_model",
-    "evaluate_predictions",
+    "DSEPredictor", "BatchedDSEPredictor", "BatchPrediction",
+    "PredictionMetrics", "evaluate_model", "evaluate_predictions",
     "DeploymentEvaluator", "DeploymentResult",
 ]

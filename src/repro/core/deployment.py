@@ -65,16 +65,34 @@ class DeploymentEvaluator:
                         l2_kb: int) -> np.ndarray:
         """Latency of every unique layer on the given hardware (true dims,
         not clamped — the feature clamp only affects model inputs)."""
+        return self.config_latencies(workload, num_pes, l2_kb)
+
+    def config_latencies(self, workload: ModelWorkload, num_pes,
+                         l2_kb) -> np.ndarray:
+        """Per-layer latency on a *batch* of candidate configurations.
+
+        ``num_pes``/``l2_kb`` broadcast against a trailing configuration
+        axis: scalars give shape ``(L,)``, length-C arrays ``(L, C)`` — one
+        vectorised cost-model pass per dataflow instead of a Python loop
+        over candidates.
+        """
         layers = workload.layer_array()
+        pes = np.asarray(num_pes)
+        l2 = np.asarray(l2_kb)
+        scalar_config = pes.ndim == 0 and l2.ndim == 0
+        m = layers[:, 0].reshape(-1, 1)
+        n = layers[:, 1].reshape(-1, 1)
+        k = layers[:, 2].reshape(-1, 1)
+        pes = np.atleast_1d(pes).reshape(1, -1)
+        l2 = np.atleast_1d(l2).reshape(1, -1)
         if self.dataflow is not None:
-            result = self.cost_model.evaluate(
-                layers[:, 0], layers[:, 1], layers[:, 2],
-                self.dataflow, num_pes, l2_kb)
-            return result.latency_cycles
-        per_df = [self.cost_model.evaluate(layers[:, 0], layers[:, 1],
-                                           layers[:, 2], df, num_pes, l2_kb)
-                  .latency_cycles for df in Dataflow]
-        return np.min(np.stack(per_df), axis=0)
+            lat = self.cost_model.evaluate(m, n, k, self.dataflow,
+                                           pes, l2).latency_cycles
+        else:
+            per_df = [self.cost_model.evaluate(m, n, k, df, pes, l2)
+                      .latency_cycles for df in Dataflow]
+            lat = np.min(np.stack(per_df), axis=0)
+        return lat[:, 0] if scalar_config else lat
 
     def model_latency(self, workload: ModelWorkload, num_pes: int,
                       l2_kb: int) -> float:
@@ -83,24 +101,33 @@ class DeploymentEvaluator:
         return float((lat * workload.count_array()).sum())
 
     # ------------------------------------------------------------------
+    def _pick_config(self, workload: ModelWorkload,
+                     candidates: np.ndarray) -> DeploymentResult:
+        """Evaluate (C, 2) candidate index pairs on the whole model in one
+        vectorised pass and return the minimum-latency configuration
+        (earliest candidate wins ties, matching the scan order of the
+        original per-candidate loop)."""
+        space = self.problem.space
+        counts = workload.count_array()
+        pes = space.pe_choices[candidates[:, 0]]
+        l2 = space.l2_choices[candidates[:, 1]]
+        lat = self.config_latencies(workload, pes, l2)   # (L, C)
+        totals = (lat * counts[:, None]).sum(axis=0)
+        winner = int(np.argmin(totals))
+        return DeploymentResult(pe_idx=int(candidates[winner, 0]),
+                                l2_idx=int(candidates[winner, 1]),
+                                num_pes=int(pes[winner]),
+                                l2_kb=int(l2[winner]),
+                                total_latency=float(totals[winner]),
+                                per_layer_latency=lat[:, winner])
+
     def method1(self, workload: ModelWorkload, pe_idx: np.ndarray,
                 l2_idx: np.ndarray) -> DeploymentResult:
         """Paper Method 1: evaluate each candidate on the whole model."""
-        pe_idx = np.asarray(pe_idx)
-        l2_idx = np.asarray(l2_idx)
-        candidates = {(int(p), int(l)) for p, l in zip(pe_idx, l2_idx)}
-        space = self.problem.space
-
-        best: DeploymentResult | None = None
-        for p, l in sorted(candidates):
-            pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
-            lat = self.layer_latencies(workload, pes, l2)
-            total = float((lat * workload.count_array()).sum())
-            if best is None or total < best.total_latency:
-                best = DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes,
-                                        l2_kb=l2, total_latency=total,
-                                        per_layer_latency=lat)
-        return best
+        candidates = sorted({(int(p), int(l))
+                             for p, l in zip(np.asarray(pe_idx),
+                                             np.asarray(l2_idx))})
+        return self._pick_config(workload, np.array(candidates, dtype=np.int64))
 
     def method2(self, workload: ModelWorkload, pe_idx: np.ndarray,
                 l2_idx: np.ndarray) -> DeploymentResult:
@@ -109,44 +136,35 @@ class DeploymentEvaluator:
         l2_idx = np.asarray(l2_idx)
         space = self.problem.space
         counts = workload.count_array()
+        layers = workload.layer_array()
 
-        # Latency of each layer on its own recommendation (count-weighted).
-        own = np.empty(len(pe_idx))
-        for i, (p, l) in enumerate(zip(pe_idx, l2_idx)):
-            layer = workload.layers[i]
-            pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
-            if self.dataflow is not None:
-                lat = float(self.cost_model.evaluate(
-                    layer.m, layer.n, layer.k, self.dataflow, pes, l2)
-                    .latency_cycles)
-            else:
-                lat = min(float(self.cost_model.evaluate(
-                    layer.m, layer.n, layer.k, df, pes, l2).latency_cycles)
-                    for df in Dataflow)
-            own[i] = lat * counts[i]
+        # Latency of each layer on its own recommendation (count-weighted),
+        # one elementwise cost-model pass per dataflow.
+        pes, l2 = space.values(pe_idx, l2_idx)
+        if self.dataflow is not None:
+            own = self.cost_model.evaluate(
+                layers[:, 0], layers[:, 1], layers[:, 2],
+                self.dataflow, pes, l2).latency_cycles
+        else:
+            own = np.min(np.stack(
+                [self.cost_model.evaluate(layers[:, 0], layers[:, 1],
+                                          layers[:, 2], df, pes, l2)
+                 .latency_cycles for df in Dataflow]), axis=0)
 
-        bottleneck = int(np.argmax(own))
-        p, l = int(pe_idx[bottleneck]), int(l2_idx[bottleneck])
-        pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
-        lat = self.layer_latencies(workload, pes, l2)
-        return DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes, l2_kb=l2,
-                                total_latency=float((lat * counts).sum()),
-                                per_layer_latency=lat)
+        bottleneck = int(np.argmax(own * counts))
+        candidate = np.array([[int(pe_idx[bottleneck]),
+                               int(l2_idx[bottleneck])]], dtype=np.int64)
+        return self._pick_config(workload, candidate)
 
     # ------------------------------------------------------------------
     def oracle_deployment(self, workload: ModelWorkload) -> DeploymentResult:
-        """Best single configuration by brute force (deployment upper bound)."""
+        """Best single configuration by brute force (deployment upper bound).
+
+        The full 768-point grid is evaluated in one vectorised pass rather
+        than a per-configuration Python loop.
+        """
         space = self.problem.space
-        best: DeploymentResult | None = None
-        layers = workload.layer_array()
-        counts = workload.count_array()
-        for p in range(space.n_pe):
-            for l in range(space.n_l2):
-                pes, l2 = int(space.pe_choices[p]), int(space.l2_choices[l])
-                lat = self.layer_latencies(workload, pes, l2)
-                total = float((lat * counts).sum())
-                if best is None or total < best.total_latency:
-                    best = DeploymentResult(pe_idx=p, l2_idx=l, num_pes=pes,
-                                            l2_kb=l2, total_latency=total,
-                                            per_layer_latency=lat)
-        return best
+        pe_grid, l2_grid = np.meshgrid(np.arange(space.n_pe),
+                                       np.arange(space.n_l2), indexing="ij")
+        candidates = np.stack([pe_grid.ravel(), l2_grid.ravel()], axis=1)
+        return self._pick_config(workload, candidates)

@@ -4,10 +4,20 @@ The paper's headline metric is *prediction accuracy*: the fraction of test
 samples whose predicted design point matches the oracle optimum.  We report
 it per head and jointly, plus two relaxed diagnostics (bucket-level match
 and latency regret) that the ablation benches use.
+
+Serving happens through two predictors sharing one decode path
+(:meth:`AirchitectV2.decode_logits`):
+
+* :class:`DSEPredictor` — the simple per-call API;
+* :class:`BatchedDSEPredictor` — the batched engine: one vectorised
+  encoder→heads pass per micro-batch under ``no_grad``, plus an optional
+  cost-annotated sweep.  Predictions are identical to the per-sample path
+  by construction; only the throughput differs.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,7 +26,7 @@ from ..dse import DSEDataset, DSEProblem, ExhaustiveOracle
 from .model import AirchitectV2
 
 __all__ = ["PredictionMetrics", "evaluate_predictions", "evaluate_model",
-           "DSEPredictor"]
+           "DSEPredictor", "BatchedDSEPredictor", "BatchPrediction"]
 
 
 @dataclass
@@ -72,12 +82,22 @@ def evaluate_predictions(problem: DSEProblem, dataset: DSEDataset,
 
 def evaluate_model(model: AirchitectV2, dataset: DSEDataset,
                    oracle: ExhaustiveOracle | None = None,
-                   compute_regret: bool = True) -> PredictionMetrics:
-    """Run one-shot inference on a dataset and score it."""
-    pe_pred, l2_pred = model.predict_indices(dataset.inputs)
+                   compute_regret: bool = True,
+                   micro_batch_size: int = 1024) -> PredictionMetrics:
+    """Run one-shot inference on a dataset (batched engine) and score it."""
+    engine = BatchedDSEPredictor(model, micro_batch_size=micro_batch_size)
+    pe_pred, l2_pred = engine.predict_indices(dataset.inputs)
     return evaluate_predictions(model.problem, dataset, pe_pred, l2_pred,
                                 pe_codec=model.pe_codec, l2_codec=model.l2_codec,
                                 oracle=oracle, compute_regret=compute_regret)
+
+
+def _build_inputs(problem: DSEProblem, m, n, k, dataflow) -> np.ndarray:
+    """Assemble (batch, 4) input tuples from workload dims (broadcasting)."""
+    m, n, k = problem.clamp_inputs(m, n, k)
+    dataflow = np.broadcast_to(np.asarray(dataflow, dtype=np.int64), m.shape)
+    return np.stack([np.atleast_1d(m), np.atleast_1d(n),
+                     np.atleast_1d(k), np.atleast_1d(dataflow)], axis=1)
 
 
 class DSEPredictor:
@@ -89,13 +109,94 @@ class DSEPredictor:
 
     def predict(self, m, n, k, dataflow) -> tuple[np.ndarray, np.ndarray]:
         """Predict (num_pes, l2_kb) for workload(s); scalars broadcast."""
-        m, n, k = self.problem.clamp_inputs(m, n, k)
-        dataflow = np.broadcast_to(np.asarray(dataflow, dtype=np.int64), m.shape)
-        inputs = np.stack([np.atleast_1d(m), np.atleast_1d(n),
-                           np.atleast_1d(k), np.atleast_1d(dataflow)], axis=1)
+        inputs = _build_inputs(self.problem, m, n, k, dataflow)
         pe_idx, l2_idx = self.model.predict_indices(inputs)
         return self.problem.space.values(pe_idx, l2_idx)
 
     def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Predict raw design-choice indices for pre-built input tuples."""
         return self.model.predict_indices(inputs)
+
+
+@dataclass
+class BatchPrediction:
+    """Result of a batched design-space sweep."""
+
+    inputs: np.ndarray          # (B, 4) the swept input tuples
+    pe_idx: np.ndarray          # (B,) predicted PE-choice index
+    l2_idx: np.ndarray          # (B,) predicted buffer-choice index
+    num_pes: np.ndarray         # (B,) physical PE count
+    l2_kb: np.ndarray           # (B,) physical buffer size (KB)
+    predicted_cost: np.ndarray | None   # (B,) metric at the prediction
+    elapsed_s: float
+    samples_per_sec: float
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+class BatchedDSEPredictor:
+    """Batched one-shot DSE serving engine.
+
+    Runs the full encoder→heads pipeline over arbitrary-size workload
+    batches in vectorised micro-batches under ``no_grad``.  Decoding goes
+    through :meth:`AirchitectV2.decode_logits` — the same code the
+    per-sample :class:`DSEPredictor` uses — so predictions are identical
+    to the per-sample loop; only the throughput differs (see
+    ``benchmarks/bench_batched_inference.py``).
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`AirchitectV2`.
+    micro_batch_size:
+        Rows per forward pass.  Larger batches amortise per-call overhead
+        but peak-allocate ``O(micro_batch * seq_len * d_model)`` floats;
+        1024 is a good default on CPU.
+    """
+
+    def __init__(self, model: AirchitectV2, micro_batch_size: int = 1024):
+        if micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        self.model = model
+        self.problem = model.problem
+        self.micro_batch_size = micro_batch_size
+        self._default_oracle: ExhaustiveOracle | None = None
+
+    # ------------------------------------------------------------------
+    def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised one-shot DSE over pre-built (batch, 4) input tuples."""
+        return self.model.predict_indices(inputs,
+                                          batch_size=self.micro_batch_size)
+
+    def predict(self, m, n, k, dataflow) -> tuple[np.ndarray, np.ndarray]:
+        """Predict (num_pes, l2_kb) for workload(s); scalars broadcast."""
+        inputs = _build_inputs(self.problem, m, n, k, dataflow)
+        pe_idx, l2_idx = self.predict_indices(inputs)
+        return self.problem.space.values(pe_idx, l2_idx)
+
+    def sweep(self, inputs: np.ndarray, with_cost: bool = False,
+              oracle: ExhaustiveOracle | None = None) -> BatchPrediction:
+        """Full design-space sweep: predictions, physical configs, timing.
+
+        ``with_cost=True`` also evaluates the optimisation metric at each
+        predicted design point (via the — possibly cached — oracle).
+        """
+        inputs = np.atleast_2d(np.asarray(inputs))
+        start = time.perf_counter()
+        pe_idx, l2_idx = self.predict_indices(inputs)
+        elapsed = time.perf_counter() - start
+        num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
+        cost = None
+        if with_cost:
+            if oracle is None:
+                # Keep one oracle per engine so its LRU label cache
+                # persists across repeated sweeps.
+                if self._default_oracle is None:
+                    self._default_oracle = ExhaustiveOracle(self.problem)
+                oracle = self._default_oracle
+            cost = oracle.cost_at(inputs, pe_idx, l2_idx)
+        return BatchPrediction(inputs=inputs, pe_idx=pe_idx, l2_idx=l2_idx,
+                               num_pes=num_pes, l2_kb=l2_kb,
+                               predicted_cost=cost, elapsed_s=elapsed,
+                               samples_per_sec=len(inputs) / max(elapsed, 1e-12))

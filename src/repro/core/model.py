@@ -188,6 +188,32 @@ class AirchitectV2(nn.Module):
         return embedding, perf, (pe_logits, l2_logits)
 
     # ------------------------------------------------------------------
+    def decode_logits(self, pe_logits, l2_logits) -> tuple[np.ndarray, np.ndarray]:
+        """Head logits (as returned by :meth:`forward`) -> choice indices.
+
+        The single decode path shared by :meth:`predict_indices` and the
+        batched serving engine (:class:`repro.core.BatchedDSEPredictor`),
+        so the two are identical by construction.
+        """
+        space = self.problem.space
+        style = self.config.head_style
+        if style == "uov":
+            pe = self.pe_codec.decode_to_choice(pe_logits.sigmoid().numpy())
+            l2 = self.l2_codec.decode_to_choice(l2_logits.sigmoid().numpy())
+        elif style == "classification":
+            pe = pe_logits.numpy().argmax(axis=-1)
+            l2 = l2_logits.numpy().argmax(axis=-1)
+        elif style == "regression":
+            pe_val = pe_logits.sigmoid().numpy()[:, 0] * (space.n_pe - 1)
+            l2_val = l2_logits.sigmoid().numpy()[:, 0] * (space.n_l2 - 1)
+            pe = np.clip(np.rint(pe_val), 0, space.n_pe - 1)
+            l2 = np.clip(np.rint(l2_val), 0, space.n_l2 - 1)
+        else:  # joint
+            flat = pe_logits.numpy().argmax(axis=-1)
+            pe, l2 = space.unflatten(flat)
+        return (np.asarray(pe, dtype=np.int64),
+                np.asarray(l2, dtype=np.int64))
+
     def predict_indices(self, inputs: np.ndarray,
                         batch_size: int = 1024) -> tuple[np.ndarray, np.ndarray]:
         """One-shot DSE: inputs -> (pe_idx, l2_idx) design-choice indices."""
@@ -195,29 +221,12 @@ class AirchitectV2(nn.Module):
         inputs = np.atleast_2d(np.asarray(inputs))
         pe_out = np.empty(len(inputs), dtype=np.int64)
         l2_out = np.empty(len(inputs), dtype=np.int64)
-        space = self.problem.space
         with nn.no_grad():
             for start in range(0, len(inputs), batch_size):
                 chunk = inputs[start:start + batch_size]
                 _, _, (pe_logits, l2_logits) = self.forward(chunk)
                 sl = slice(start, start + len(chunk))
-                style = self.config.head_style
-                if style == "uov":
-                    pe_out[sl] = self.pe_codec.decode_to_choice(
-                        pe_logits.sigmoid().numpy())
-                    l2_out[sl] = self.l2_codec.decode_to_choice(
-                        l2_logits.sigmoid().numpy())
-                elif style == "classification":
-                    pe_out[sl] = pe_logits.numpy().argmax(axis=-1)
-                    l2_out[sl] = l2_logits.numpy().argmax(axis=-1)
-                elif style == "regression":
-                    pe_val = pe_logits.sigmoid().numpy()[:, 0] * (space.n_pe - 1)
-                    l2_val = l2_logits.sigmoid().numpy()[:, 0] * (space.n_l2 - 1)
-                    pe_out[sl] = np.clip(np.rint(pe_val), 0, space.n_pe - 1)
-                    l2_out[sl] = np.clip(np.rint(l2_val), 0, space.n_l2 - 1)
-                else:  # joint
-                    flat = pe_logits.numpy().argmax(axis=-1)
-                    pe_out[sl], l2_out[sl] = space.unflatten(flat)
+                pe_out[sl], l2_out[sl] = self.decode_logits(pe_logits, l2_logits)
         return pe_out, l2_out
 
     def head_parameter_count(self) -> int:

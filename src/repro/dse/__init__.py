@@ -5,13 +5,13 @@ exhaustive labelling oracle, and dataset generation utilities.
 """
 
 from .dataset import DSEDataset, generate_random_dataset, generate_workload_dataset
-from .oracle import ExhaustiveOracle, OracleResult
+from .oracle import ExhaustiveOracle, OracleCacheInfo, OracleResult
 from .problem import DSEProblem, FeatureBounds
 from .space import DesignSpace, default_space
 
 __all__ = [
     "DSEDataset", "generate_random_dataset", "generate_workload_dataset",
-    "ExhaustiveOracle", "OracleResult",
+    "ExhaustiveOracle", "OracleCacheInfo", "OracleResult",
     "DSEProblem", "FeatureBounds",
     "DesignSpace", "default_space",
 ]

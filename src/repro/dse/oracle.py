@@ -19,6 +19,7 @@ learnable at all (set ``tolerance=0`` for the strict argmin).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,7 @@ import numpy as np
 from ..maestro import CostModel, Dataflow
 from .problem import DSEProblem
 
-__all__ = ["OracleResult", "ExhaustiveOracle"]
+__all__ = ["OracleResult", "OracleCacheInfo", "ExhaustiveOracle"]
 
 
 @dataclass
@@ -39,25 +40,145 @@ class OracleResult:
     cost_grid: np.ndarray | None  # (batch, n_pe, n_l2) if requested
 
 
+@dataclass(frozen=True)
+class OracleCacheInfo:
+    """LRU label-cache statistics (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class ExhaustiveOracle:
-    """Brute-force optimal (PE, buffer) assignment for the Table-I problem."""
+    """Brute-force optimal (PE, buffer) assignment for the Table-I problem.
+
+    Labels are memoised per input tuple in a bounded LRU cache (disable
+    with ``cache_size=0``): repeated design-space sweeps — the serving
+    pattern of the batched inference engine — never recompute a label.
+    The cache is invalidated whenever ``problem``, ``tolerance`` or
+    ``cost_model`` is reassigned, since each changes the labelling
+    function.
+    """
 
     def __init__(self, problem: DSEProblem, cost_model: CostModel | None = None,
-                 tolerance: float = 0.02):
+                 tolerance: float = 0.02, cache_size: int = 65536):
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
-        self.problem = problem
-        self.cost_model = cost_model or CostModel()
-        self.tolerance = tolerance
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self._problem = problem
+        self._cost_model = cost_model or CostModel()
+        self._tolerance = tolerance
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
 
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> DSEProblem:
+        return self._problem
+
+    @problem.setter
+    def problem(self, value: DSEProblem) -> None:
+        if value is not self._problem:
+            self.cache_clear()
+        self._problem = value
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @cost_model.setter
+    def cost_model(self, value: CostModel) -> None:
+        if value is not self._cost_model:
+            self.cache_clear()
+        self._cost_model = value
+
+    @property
+    def tolerance(self) -> float:
+        return self._tolerance
+
+    @tolerance.setter
+    def tolerance(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("tolerance must be >= 0")
+        if value != self._tolerance:
+            self.cache_clear()
+        self._tolerance = value
+
+    def cache_info(self) -> OracleCacheInfo:
+        return OracleCacheInfo(hits=self._hits, misses=self._misses,
+                               size=len(self._cache),
+                               capacity=self.cache_size)
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
     def solve(self, inputs: np.ndarray, keep_grid: bool = False) -> OracleResult:
         """Label a batch of input tuples ``[M, N, K, dataflow]``.
 
         Evaluates the full design grid per dataflow group (vectorised), then
         takes the cheapest per-sample configuration within ``tolerance`` of
-        the minimum.
+        the minimum.  Cached labels are served from the LRU cache; only the
+        cache-miss rows hit the cost model (grids are never cached — pass
+        ``keep_grid=True`` to force a full recompute of the grid).
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.int64))
+        if keep_grid or self.cache_size == 0:
+            return self._solve_uncached(inputs, keep_grid)
+
+        keys = [tuple(row) for row in inputs.tolist()]
+        cache = self._cache
+        miss_order: dict[tuple, int] = {}
+        for key in keys:
+            if key in cache or key in miss_order:
+                # lru_cache semantics: a duplicate of a row already being
+                # solved in this batch is served from that result (a hit).
+                self._hits += 1
+            else:
+                self._misses += 1
+                miss_order[key] = len(miss_order)
+
+        solved_map: dict[tuple, tuple] = {}
+        if miss_order:
+            miss_rows = np.array(list(miss_order), dtype=np.int64)
+            solved = self._solve_uncached(miss_rows, keep_grid=False)
+            for i, key in enumerate(miss_order):
+                solved_map[key] = (int(solved.pe_idx[i]), int(solved.l2_idx[i]),
+                                   float(solved.best_cost[i]))
+
+        batch = len(keys)
+        pe_idx = np.empty(batch, dtype=np.int64)
+        l2_idx = np.empty(batch, dtype=np.int64)
+        best = np.empty(batch, dtype=np.float64)
+        for i, key in enumerate(keys):
+            entry = solved_map.get(key)
+            if entry is None:
+                entry = cache[key]
+                cache.move_to_end(key)
+            pe_idx[i], l2_idx[i], best[i] = entry
+
+        cache.update(solved_map)
+        while len(cache) > self.cache_size:
+            cache.popitem(last=False)
+        return OracleResult(pe_idx=pe_idx, l2_idx=l2_idx, best_cost=best,
+                            cost_grid=None)
+
+    def _solve_uncached(self, inputs: np.ndarray,
+                        keep_grid: bool) -> OracleResult:
+        """The vectorised grid evaluation behind :meth:`solve`."""
         batch = len(inputs)
         space = self.problem.space
 

@@ -83,23 +83,42 @@ class SystolicArray:
 
     def run_gemm(self, m, n, k, mapping: SystolicMapping) -> SystolicResult:
         """Analytical runtime for GEMM(s); ``m, n, k`` broadcast together."""
-        m = np.asarray(m, dtype=np.int64)
-        n = np.asarray(n, dtype=np.int64)
-        k = np.asarray(k, dtype=np.int64)
-        m, n, k = np.broadcast_arrays(m, n, k)
-        rows, cols = self.rows, self.cols
+        mapping = SystolicMapping(mapping)  # raises on unhandled mappings
+        m, n, k = np.broadcast_arrays(np.asarray(m, dtype=np.int64),
+                                      np.asarray(n, dtype=np.int64),
+                                      np.asarray(k, dtype=np.int64))
+        mapping_idx = np.full(m.shape, int(mapping), dtype=np.int64)
+        return self._analyze(m, n, k, mapping_idx)
 
-        if mapping is SystolicMapping.OUTPUT_STATIONARY:
-            d1, d2, temporal = m, n, k
-            per_fold = 2 * rows + cols + temporal - 2
-        elif mapping is SystolicMapping.WEIGHT_STATIONARY:
-            d1, d2, temporal = k, n, m
-            per_fold = rows + cols + temporal - 1
-        elif mapping is SystolicMapping.INPUT_STATIONARY:
-            d1, d2, temporal = k, m, n
-            per_fold = rows + cols + temporal - 1
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unhandled mapping {mapping}")
+    def run_gemm_mixed(self, m, n, k, mappings) -> SystolicResult:
+        """Like :meth:`run_gemm` but with a *per-workload* mapping array.
+
+        ``m, n, k, mappings`` broadcast together; the whole batch is
+        evaluated in one vectorised pass (no per-sample Python branching),
+        so heterogeneous-mapping sweeps need no grouping by mapping.
+        """
+        mappings = np.asarray(mappings, dtype=np.int64)
+        if mappings.size and not np.isin(mappings, [int(v) for v in
+                                                    SystolicMapping]).all():
+            raise ValueError("mappings must be SystolicMapping values (0..2)")
+        m, n, k, mappings = np.broadcast_arrays(
+            np.asarray(m, dtype=np.int64), np.asarray(n, dtype=np.int64),
+            np.asarray(k, dtype=np.int64), mappings)
+        return self._analyze(m, n, k, mappings)
+
+    def _analyze(self, m, n, k, mapping_idx) -> SystolicResult:
+        """Vectorised core: per-element mapping selection via masks."""
+        rows, cols = self.rows, self.cols
+        os = mapping_idx == int(SystolicMapping.OUTPUT_STATIONARY)
+        ws = mapping_idx == int(SystolicMapping.WEIGHT_STATIONARY)
+
+        # Spatial dims (d1 across rows, d2 across cols) and temporal stream:
+        #   OS: (M, N) spatial, K temporal;  WS: (K, N), M;  IS: (K, M), N.
+        d1 = np.where(os, m, k)
+        d2 = np.where(os | ws, n, m)
+        temporal = np.where(os, k, np.where(ws, m, n))
+        per_fold = np.where(os, 2 * rows + cols + temporal - 2,
+                            rows + cols + temporal - 1)
 
         folds1 = -(-d1 // rows)
         folds2 = -(-d2 // cols)
@@ -112,15 +131,10 @@ class SystolicArray:
         # SRAM traffic: operands are read once per fold touching them,
         # outputs written once (plus partial-sum re-writes for WS/IS where
         # the reduction dimension is spatial across folds1).
-        if mapping is SystolicMapping.OUTPUT_STATIONARY:
-            reads = m * k * folds2 + k * n * folds1
-            writes = m * n
-        elif mapping is SystolicMapping.WEIGHT_STATIONARY:
-            reads = k * n + m * k * folds2
-            writes = m * n * folds1
-        else:
-            reads = m * k + k * n * folds2
-            writes = m * n * folds1
+        reads = np.where(os, m * k * folds2 + k * n * folds1,
+                         np.where(ws, k * n + m * k * folds2,
+                                  m * k + k * n * folds2))
+        writes = np.where(os, m * n, m * n * folds1)
 
         return SystolicResult(cycles=cycles.astype(np.float64),
                               folds=folds.astype(np.float64),
@@ -128,11 +142,22 @@ class SystolicArray:
                               sram_reads=reads.astype(np.float64),
                               sram_writes=writes.astype(np.float64))
 
+    def best_mapping_batch(self, m, n, k) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised mapping search: (mapping indices, cycles) per workload.
+
+        Evaluates all three mappings for the whole batch in three
+        vectorised passes and selects per workload (first mapping in enum
+        order wins ties, matching :meth:`best_mapping`).
+        """
+        m, n, k = np.broadcast_arrays(np.asarray(m, dtype=np.int64),
+                                      np.asarray(n, dtype=np.int64),
+                                      np.asarray(k, dtype=np.int64))
+        all_cycles = np.stack([self.run_gemm(m, n, k, mapping).cycles
+                               for mapping in SystolicMapping])
+        best = np.argmin(all_cycles, axis=0)
+        return best, np.min(all_cycles, axis=0)
+
     def best_mapping(self, m: int, n: int, k: int) -> tuple[SystolicMapping, float]:
         """Return the (mapping, cycles) pair minimising runtime."""
-        best = None
-        for mapping in SystolicMapping:
-            cycles = float(self.run_gemm(m, n, k, mapping).cycles)
-            if best is None or cycles < best[1]:
-                best = (mapping, cycles)
-        return best
+        mapping_idx, cycles = self.best_mapping_batch(m, n, k)
+        return SystolicMapping(int(mapping_idx)), float(cycles)

@@ -1,0 +1,113 @@
+"""Batched serving engine: parity with the per-sample predictor.
+
+The engine's contract is *bitwise-identical predictions* to the
+per-sample :class:`DSEPredictor` — only throughput may differ.  Parity is
+checked across random model seeds, head styles, and micro-batch sizes
+(1, 7, 64, full-dataset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (AirchitectV2, BatchedDSEPredictor, DSEPredictor,
+                        ModelConfig, evaluate_model)
+
+MICRO_BATCH_SIZES = (1, 7, 64, None)     # None -> full-dataset batches
+
+
+def _model(problem, seed: int, head_style: str = "uov") -> AirchitectV2:
+    config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+                         head_style=head_style)
+    return AirchitectV2(config, problem, np.random.default_rng(seed))
+
+
+class TestParityWithPerSamplePredictor:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_identical_to_per_sample_loop(self, problem, small_dataset, seed):
+        """Engine output == DSEPredictor called one row at a time."""
+        model = _model(problem, seed)
+        engine = BatchedDSEPredictor(model, micro_batch_size=64)
+        loop = DSEPredictor(model)
+        inputs = small_dataset.inputs[:96]
+
+        pe_b, l2_b = engine.predict_indices(inputs)
+        parts = [loop.predict_indices(row) for row in inputs]
+        np.testing.assert_array_equal(pe_b, np.concatenate([p for p, _ in parts]))
+        np.testing.assert_array_equal(l2_b, np.concatenate([l for _, l in parts]))
+
+    @pytest.mark.parametrize("micro_batch", MICRO_BATCH_SIZES)
+    @pytest.mark.parametrize("seed", [0, 42])
+    def test_micro_batch_size_invariance(self, problem, small_dataset, seed,
+                                         micro_batch):
+        """Predictions do not depend on the micro-batch size."""
+        model = _model(problem, seed)
+        inputs = small_dataset.inputs
+        size = len(inputs) if micro_batch is None else micro_batch
+        engine = BatchedDSEPredictor(model, micro_batch_size=size)
+        reference = model.predict_indices(inputs)
+
+        pe, l2 = engine.predict_indices(inputs)
+        np.testing.assert_array_equal(pe, reference[0])
+        np.testing.assert_array_equal(l2, reference[1])
+
+    @pytest.mark.parametrize("head_style", ["uov", "classification", "joint",
+                                            "regression"])
+    def test_parity_across_head_styles(self, problem, small_dataset,
+                                       head_style):
+        """decode_logits is shared, so every head style stays in parity."""
+        model = _model(problem, 3, head_style=head_style)
+        engine = BatchedDSEPredictor(model, micro_batch_size=17)
+        inputs = small_dataset.inputs[:64]
+
+        pe, l2 = engine.predict_indices(inputs)
+        reference = model.predict_indices(inputs)
+        np.testing.assert_array_equal(pe, reference[0])
+        np.testing.assert_array_equal(l2, reference[1])
+
+    def test_predict_matches_simple_predictor(self, problem):
+        model = _model(problem, 11)
+        engine = BatchedDSEPredictor(model)
+        simple = DSEPredictor(model)
+        m = np.array([8, 64, 200])
+        args = (m, m * 3, m * 2, np.array([0, 1, 2]))
+        np.testing.assert_array_equal(engine.predict(*args)[0],
+                                      simple.predict(*args)[0])
+        np.testing.assert_array_equal(engine.predict(*args)[1],
+                                      simple.predict(*args)[1])
+
+
+class TestSweepAPI:
+    def test_sweep_shapes_and_throughput(self, problem, small_dataset):
+        engine = BatchedDSEPredictor(_model(problem, 5), micro_batch_size=128)
+        result = engine.sweep(small_dataset.inputs[:100])
+        assert len(result) == 100
+        assert result.num_pes.shape == (100,)
+        assert np.isin(result.num_pes, problem.space.pe_choices).all()
+        assert np.isin(result.l2_kb, problem.space.l2_choices).all()
+        assert result.predicted_cost is None
+        assert result.samples_per_sec > 0
+
+    def test_sweep_with_cost_matches_oracle_cost_at(self, problem,
+                                                    small_dataset, oracle):
+        engine = BatchedDSEPredictor(_model(problem, 5))
+        inputs = small_dataset.inputs[:50]
+        result = engine.sweep(inputs, with_cost=True, oracle=oracle)
+        expected = oracle.cost_at(inputs, result.pe_idx, result.l2_idx)
+        np.testing.assert_allclose(result.predicted_cost, expected, rtol=1e-12)
+
+    def test_invalid_micro_batch_rejected(self, problem):
+        with pytest.raises(ValueError):
+            BatchedDSEPredictor(_model(problem, 0), micro_batch_size=0)
+
+
+class TestEvaluateModelUsesBatchedPath:
+    def test_metrics_identical_across_micro_batches(self, problem,
+                                                    small_dataset, oracle):
+        model = _model(problem, 9)
+        a = evaluate_model(model, small_dataset, oracle=oracle,
+                           compute_regret=True, micro_batch_size=32)
+        b = evaluate_model(model, small_dataset, oracle=oracle,
+                           compute_regret=True, micro_batch_size=512)
+        assert a.as_dict() == b.as_dict()

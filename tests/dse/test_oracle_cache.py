@@ -1,0 +1,160 @@
+"""Oracle LRU label cache: accounting, invalidation, and label identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DSEProblem, ExhaustiveOracle
+
+
+def _assert_same_labels(a, b):
+    np.testing.assert_array_equal(a.pe_idx, b.pe_idx)
+    np.testing.assert_array_equal(a.l2_idx, b.l2_idx)
+    np.testing.assert_array_equal(a.best_cost, b.best_cost)
+
+
+class TestHitMissAccounting:
+    def test_cold_sweep_is_all_misses(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = problem.sample_inputs(25, rng)
+        inputs = np.unique(inputs, axis=0)
+        oracle.solve(inputs)
+        info = oracle.cache_info()
+        assert info.misses == len(inputs)
+        assert info.hits == 0
+        assert info.size == len(inputs)
+        assert info.hit_rate == 0.0
+
+    def test_repeated_sweep_is_all_hits(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = np.unique(problem.sample_inputs(25, rng), axis=0)
+        oracle.solve(inputs)
+        misses_after_cold = oracle.cache_info().misses
+        oracle.solve(inputs)
+        info = oracle.cache_info()
+        assert info.hits == len(inputs)
+        assert info.misses == misses_after_cold
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_duplicate_rows_solved_once(self, problem):
+        """lru_cache semantics: one miss per unique row, duplicates hit."""
+        oracle = ExhaustiveOracle(problem)
+        row = np.array([[64, 64, 64, 0]])
+        oracle.solve(np.repeat(row, 5, axis=0))
+        info = oracle.cache_info()
+        assert info.size == 1
+        assert info.misses == 1
+        assert info.hits == 4
+
+    def test_disabled_cache_never_counts(self, problem, rng):
+        oracle = ExhaustiveOracle(problem, cache_size=0)
+        inputs = problem.sample_inputs(10, rng)
+        oracle.solve(inputs)
+        oracle.solve(inputs)
+        info = oracle.cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.size == 0
+
+    def test_negative_cache_size_rejected(self, problem):
+        with pytest.raises(ValueError):
+            ExhaustiveOracle(problem, cache_size=-1)
+
+
+class TestLabelIdentity:
+    def test_cached_sweep_identical_to_cold(self, problem, rng):
+        """A warm sweep must return exactly the cold-sweep labels."""
+        inputs = problem.sample_inputs(40, rng)
+        cached = ExhaustiveOracle(problem)
+        cold = cached.solve(inputs)
+        warm = cached.solve(inputs)
+        _assert_same_labels(cold, warm)
+
+    def test_cached_labels_match_uncached_oracle(self, problem, rng):
+        inputs = problem.sample_inputs(40, rng)
+        cached = ExhaustiveOracle(problem).solve(inputs)
+        uncached = ExhaustiveOracle(problem, cache_size=0).solve(inputs)
+        _assert_same_labels(cached, uncached)
+
+    def test_keep_grid_bypasses_cache_but_agrees(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = problem.sample_inputs(10, rng)
+        cached = oracle.solve(inputs)
+        info_before = oracle.cache_info()
+        with_grid = oracle.solve(inputs, keep_grid=True)
+        assert with_grid.cost_grid is not None
+        assert oracle.cache_info() == info_before
+        _assert_same_labels(cached, with_grid)
+
+    def test_lru_evicts_oldest_but_stays_correct(self, problem, rng):
+        oracle = ExhaustiveOracle(problem, cache_size=8)
+        inputs = np.unique(problem.sample_inputs(30, rng), axis=0)[:12]
+        first = oracle.solve(inputs)
+        assert oracle.cache_info().size == 8
+        again = oracle.solve(inputs)
+        _assert_same_labels(first, again)
+
+    def test_batch_larger_than_capacity(self, problem, rng):
+        """A single sweep bigger than the cache still labels every row."""
+        oracle = ExhaustiveOracle(problem, cache_size=4)
+        inputs = problem.sample_inputs(20, rng)
+        result = oracle.solve(inputs)
+        reference = ExhaustiveOracle(problem, cache_size=0).solve(inputs)
+        _assert_same_labels(result, reference)
+        assert oracle.cache_info().size <= 4
+
+
+class TestInvalidation:
+    def test_problem_change_clears_cache(self, rng):
+        latency = DSEProblem(metric="latency")
+        oracle = ExhaustiveOracle(latency)
+        inputs = latency.sample_inputs(15, rng)
+        lat_result = oracle.solve(inputs)
+        assert oracle.cache_info().size > 0
+
+        oracle.problem = DSEProblem(metric="energy")
+        assert oracle.cache_info().size == 0
+        en_result = oracle.solve(inputs)
+        # Energy labels genuinely differ -> stale entries would be wrong.
+        assert ((lat_result.pe_idx != en_result.pe_idx).any()
+                or (lat_result.l2_idx != en_result.l2_idx).any())
+
+    def test_tolerance_change_clears_cache(self, problem, rng):
+        oracle = ExhaustiveOracle(problem, tolerance=0.02)
+        inputs = problem.sample_inputs(15, rng)
+        oracle.solve(inputs)
+        oracle.tolerance = 0.10
+        assert oracle.cache_info().size == 0
+        loose = oracle.solve(inputs)
+        reference = ExhaustiveOracle(problem, tolerance=0.10,
+                                     cache_size=0).solve(inputs)
+        _assert_same_labels(loose, reference)
+
+    def test_cost_model_change_clears_cache(self, problem, rng):
+        from repro.maestro import CostModel
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(10, rng))
+        assert oracle.cache_info().size > 0
+        oracle.cost_model = CostModel()
+        assert oracle.cache_info().size == 0
+
+    def test_same_value_reassignment_keeps_cache(self, problem, rng):
+        oracle = ExhaustiveOracle(problem, tolerance=0.02)
+        oracle.solve(problem.sample_inputs(5, rng))
+        size = oracle.cache_info().size
+        oracle.tolerance = 0.02
+        oracle.problem = problem
+        assert oracle.cache_info().size == size
+
+    def test_negative_tolerance_reassignment_rejected(self, problem):
+        oracle = ExhaustiveOracle(problem)
+        with pytest.raises(ValueError):
+            oracle.tolerance = -0.5
+
+    def test_cache_clear_resets_counters(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = problem.sample_inputs(10, rng)
+        oracle.solve(inputs)
+        oracle.solve(inputs)
+        oracle.cache_clear()
+        info = oracle.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)

@@ -1,0 +1,113 @@
+"""Vectorised systolic substrate: array inputs must match the scalar path.
+
+Covers all three mappings (OS/WS/IS), the mixed per-workload mapping
+path, the batched mapping search, and edge folds (dims smaller than the
+array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scalesim import SystolicArray, SystolicMapping
+
+FIELDS = ("cycles", "folds", "utilization", "sram_reads", "sram_writes")
+
+
+def _assert_results_equal(batched, scalars, index=None):
+    """Batched result row(s) must equal independently-computed scalars."""
+    for field in FIELDS:
+        got = getattr(batched, field)
+        got = got if index is None else got[index]
+        want = getattr(scalars, field)
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want),
+                                      err_msg=field)
+
+
+class TestArrayVsScalarPath:
+    @pytest.mark.parametrize("mapping", list(SystolicMapping))
+    def test_batch_matches_per_scalar_loop(self, rng, mapping):
+        arr = SystolicArray(16, 16)
+        m = rng.integers(1, 300, 40)
+        n = rng.integers(1, 300, 40)
+        k = rng.integers(1, 300, 40)
+        batched = arr.run_gemm(m, n, k, mapping)
+        for i in range(40):
+            scalar = arr.run_gemm(int(m[i]), int(n[i]), int(k[i]), mapping)
+            _assert_results_equal(batched, scalar, index=i)
+
+    @pytest.mark.parametrize("mapping", list(SystolicMapping))
+    def test_edge_fold_dims_smaller_than_array(self, mapping):
+        """A workload smaller than the array is one fold, scalar == array."""
+        arr = SystolicArray(32, 32)
+        dims = [(1, 1, 1), (3, 5, 7), (31, 31, 31), (32, 32, 32),
+                (1, 200, 1), (200, 1, 1), (1, 1, 200)]
+        m, n, k = (np.array(d) for d in zip(*dims))
+        batched = arr.run_gemm(m, n, k, mapping)
+        for i, (mi, ni, ki) in enumerate(dims):
+            scalar = arr.run_gemm(mi, ni, ki, mapping)
+            _assert_results_equal(batched, scalar, index=i)
+        # dims strictly inside the array -> exactly one fold
+        inside = (m <= 32) & (n <= 32) & (k <= 32)
+        assert (batched.folds[inside] == 1).all()
+
+    def test_scalar_formulas_unchanged(self):
+        """The vectorised core preserves the Scale-Sim fold equations."""
+        arr = SystolicArray(8, 8)
+        os = arr.run_gemm(8, 8, 32, SystolicMapping.OUTPUT_STATIONARY)
+        assert float(os.cycles) == 2 * 8 + 8 + 32 - 2
+        ws = arr.run_gemm(32, 8, 8, SystolicMapping.WEIGHT_STATIONARY)
+        assert float(ws.cycles) == 8 + 8 + 32 - 1
+        iss = arr.run_gemm(8, 32, 8, SystolicMapping.INPUT_STATIONARY)
+        assert float(iss.cycles) == 8 + 8 + 32 - 1
+
+
+class TestMixedMappingPath:
+    def test_mixed_matches_per_mapping_runs(self, rng):
+        arr = SystolicArray(8, 16)
+        m = rng.integers(1, 500, 60)
+        n = rng.integers(1, 500, 60)
+        k = rng.integers(1, 500, 60)
+        mappings = rng.integers(0, 3, 60)
+        mixed = arr.run_gemm_mixed(m, n, k, mappings)
+        for mapping in SystolicMapping:
+            mask = mappings == int(mapping)
+            pure = arr.run_gemm(m[mask], n[mask], k[mask], mapping)
+            _assert_results_equal(mixed, pure, index=mask)
+
+    def test_mixed_broadcasts_scalar_dims(self):
+        arr = SystolicArray(8, 8)
+        mixed = arr.run_gemm_mixed(64, 64, 64, np.array([0, 1, 2]))
+        assert mixed.cycles.shape == (3,)
+        for i, mapping in enumerate(SystolicMapping):
+            scalar = arr.run_gemm(64, 64, 64, mapping)
+            _assert_results_equal(mixed, scalar, index=i)
+
+    def test_invalid_mapping_values_rejected(self):
+        arr = SystolicArray(8, 8)
+        with pytest.raises(ValueError):
+            arr.run_gemm_mixed(8, 8, 8, np.array([0, 3]))
+
+
+class TestBatchedMappingSearch:
+    def test_matches_scalar_best_mapping(self, rng):
+        arr = SystolicArray(16, 16)
+        m = rng.integers(1, 400, 25)
+        n = rng.integers(1, 400, 25)
+        k = rng.integers(1, 400, 25)
+        mappings, cycles = arr.best_mapping_batch(m, n, k)
+        for i in range(25):
+            best_map, best_cycles = arr.best_mapping(int(m[i]), int(n[i]),
+                                                     int(k[i]))
+            assert mappings[i] == int(best_map)
+            assert cycles[i] == best_cycles
+
+    def test_batch_cycles_are_minimal(self, rng):
+        arr = SystolicArray(8, 8)
+        m = rng.integers(1, 200, 30)
+        n = rng.integers(1, 200, 30)
+        k = rng.integers(1, 200, 30)
+        _, cycles = arr.best_mapping_batch(m, n, k)
+        for mapping in SystolicMapping:
+            assert (cycles <= arr.run_gemm(m, n, k, mapping).cycles).all()

@@ -1,0 +1,65 @@
+"""CLI: the `repro predict` serving entry point (batched and per-sample)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestPredictCommand:
+    def test_batched_random_sweep_json(self, capsys):
+        code = main(["predict", "--untrained", "--random", "12", "--batch",
+                     "--scale", "tiny", "--json", "--seed", "3"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["samples"] == 12
+        assert doc["mode"] == "batched"
+        assert len(doc["predictions"]) == 12
+        assert all(p["num_pes"] % 8 == 0 for p in doc["predictions"])
+
+    def test_batched_equals_per_sample_loop(self, capsys):
+        args = ["predict", "--untrained", "--random", "10", "--scale", "tiny",
+                "--json", "--seed", "5"]
+        main(args + ["--batch"])
+        batched = json.loads(capsys.readouterr().out)["predictions"]
+        main(args)
+        loop = json.loads(capsys.readouterr().out)["predictions"]
+        assert batched == loop
+
+    def test_input_file_and_table_output(self, tmp_path, capsys):
+        wl = tmp_path / "layers.txt"
+        wl.write_text("# M N K dataflow\n64 512 256 1\n8,8,8\n")
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--batch", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "num_pes" in out
+        assert "2 samples" in out
+
+    def test_malformed_input_rejected(self, tmp_path):
+        wl = tmp_path / "bad.txt"
+        wl.write_text("64 512\n")
+        with pytest.raises(ValueError):
+            main(["predict", "--untrained", "--input", str(wl),
+                  "--scale", "tiny"])
+
+    def test_out_of_range_dataflow_rejected(self, tmp_path):
+        wl = tmp_path / "bad_df.txt"
+        wl.write_text("8 8 8 7\n8 8 8 -1\n")
+        with pytest.raises(ValueError, match="dataflow must be in 0..2"):
+            main(["predict", "--untrained", "--input", str(wl),
+                  "--scale", "tiny"])
+
+    def test_out_of_range_dims_clamped(self, tmp_path, capsys):
+        wl = tmp_path / "big.txt"
+        wl.write_text("999999 999999 999999 2\n")
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--batch", "--scale", "tiny", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        pred = doc["predictions"][0]
+        assert pred["m"] == 256 and pred["n"] == 1677 and pred["k"] == 1185
