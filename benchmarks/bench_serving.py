@@ -1,0 +1,160 @@
+"""Concurrent-client serving: dynamic batcher vs the per-request loop.
+
+The acceptance gate of the serving subsystem: with N concurrent clients
+issuing single-workload requests, the dynamic batcher (which coalesces
+them into engine micro-batches) must deliver >= 3x the throughput of the
+unbatched path (one engine forward pass per request), with predictions
+bit-identical to :class:`repro.core.DSEPredictor`.
+
+Run standalone to record the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --clients 16 --requests-per-client 64 --output BENCH_serving.json
+
+or under pytest (the test is marked ``slow``)::
+
+    pytest benchmarks/bench_serving.py --benchmark-only -m slow -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (AirchitectV2, BatchedDSEPredictor, DSEPredictor,
+                        ModelConfig)
+from repro.dse import DSEProblem
+from repro.serving import DynamicBatcher, ServingStats
+
+SPEEDUP_TARGET = 3.0
+
+
+def _drive_clients(n_clients: int, requests_per_client: int, inputs,
+                   handle_one) -> tuple[float, np.ndarray, np.ndarray]:
+    """Fire the client fleet; returns (elapsed, pe_idx, l2_idx) in input
+    order.  ``handle_one(row) -> (pe, l2)`` is the serving path under test."""
+    total = n_clients * requests_per_client
+    pe_out = np.empty(total, dtype=np.int64)
+    l2_out = np.empty(total, dtype=np.int64)
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(cid: int) -> None:
+        barrier.wait()
+        for r in range(requests_per_client):
+            i = cid * requests_per_client + r
+            pe_out[i], l2_out[i] = handle_one(inputs[i])
+
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start, pe_out, l2_out
+
+
+def run_bench(clients: int = 16, requests_per_client: int = 64,
+              max_batch_size: int = 64, max_wait_ms: float = 2.0,
+              seed: int = 0) -> dict:
+    problem = DSEProblem()
+    rng = np.random.default_rng(seed)
+    model = AirchitectV2(ModelConfig(), problem, rng)
+    total = clients * requests_per_client
+    inputs = problem.sample_inputs(total, rng)
+
+    reference = DSEPredictor(model)
+    reference.predict_indices(inputs[0])               # warm-up (lazy allocs)
+
+    # Unbatched per-request path: every client request is its own
+    # single-row forward pass (what serving looks like without a batcher).
+    loop_elapsed, loop_pe, loop_l2 = _drive_clients(
+        clients, requests_per_client, inputs,
+        lambda row: tuple(int(x[0]) for x in reference.predict_indices(row)))
+
+    # Dynamic batcher: the same fleet, requests coalesced into micro-batches.
+    stats = ServingStats()
+    engine = BatchedDSEPredictor(model, micro_batch_size=1024,
+                                 on_batch=stats.record_forward)
+    with DynamicBatcher(engine, max_batch_size=max_batch_size,
+                        max_wait_ms=max_wait_ms, stats=stats,
+                        start=True) as batcher:
+        def one(row):
+            served = batcher.predict(*map(int, row), timeout=60)
+            return served.pe_idx, served.l2_idx
+        batched_elapsed, pe, l2 = _drive_clients(
+            clients, requests_per_client, inputs, one)
+
+    ref_pe, ref_l2 = reference.predict_indices(inputs)
+    identical = bool(np.array_equal(pe, ref_pe) and np.array_equal(l2, ref_l2)
+                     and np.array_equal(loop_pe, ref_pe)
+                     and np.array_equal(loop_l2, ref_l2))
+    loop_rps = total / max(loop_elapsed, 1e-12)
+    batched_rps = total / max(batched_elapsed, 1e-12)
+    return {"clients": clients,
+            "requests_per_client": requests_per_client,
+            "requests_total": total,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+            "loop_elapsed_s": loop_elapsed,
+            "batched_elapsed_s": batched_elapsed,
+            "loop_requests_per_sec": loop_rps,
+            "batched_requests_per_sec": batched_rps,
+            "speedup": batched_rps / max(loop_rps, 1e-12),
+            "forward_passes": stats.forward_passes,
+            "mean_batch_size": stats.mean_batch_size,
+            "mean_queue_wait_ms": stats.mean_queue_wait_s * 1e3,
+            "identical_predictions": identical,
+            "speedup_target": SPEEDUP_TARGET}
+
+
+@pytest.mark.slow
+def test_dynamic_batcher_beats_per_request_loop(benchmark):
+    """>= 3x concurrent-client throughput with identical predictions."""
+    result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    print(json.dumps(result, indent=2))
+    assert result["identical_predictions"]
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests-per-client", type=int, default=64)
+    parser.add_argument("--max-batch-size", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="also write the JSON record to this path "
+                             "(e.g. BENCH_serving.json)")
+    args = parser.parse_args(argv)
+
+    result = run_bench(clients=args.clients,
+                       requests_per_client=args.requests_per_client,
+                       max_batch_size=args.max_batch_size,
+                       max_wait_ms=args.max_wait_ms, seed=args.seed)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    if not result["identical_predictions"]:
+        print("FAIL: served predictions diverge from DSEPredictor",
+              file=sys.stderr)
+        return 1
+    if result["speedup"] < SPEEDUP_TARGET:
+        print(f"FAIL: speedup {result['speedup']:.2f}x < "
+              f"{SPEEDUP_TARGET:.0f}x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Examples::
     # Batched one-shot DSE serving (trains/loads the model once, cached):
     python -m repro predict --batch --random 1000 --json
     python -m repro predict --batch --input layers.csv --micro-batch 512
+
+    # HTTP serving with dynamic batching and a persistent oracle cache:
+    python -m repro serve --port 8080 --max-batch-size 64 --max-wait-ms 2 \\
+        --oracle-cache .repro_cache/oracle_cache.npz
 """
 
 from __future__ import annotations
@@ -91,11 +95,40 @@ def _read_workload_file(path: str) -> np.ndarray:
     return np.array(rows, dtype=np.int64)
 
 
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    """Model-selection options shared by ``predict`` and ``serve``."""
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES),
+                        help="model scale (default: $REPRO_SCALE or 'small')")
+    parser.add_argument("--cache", default=None,
+                        help="training-cache directory (default: "
+                             "$REPRO_CACHE or .repro_cache)")
+    parser.add_argument("--untrained", action="store_true",
+                        help="skip training and use a freshly initialised "
+                             "model (smoke tests / throughput checks)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for --random and --untrained")
+
+
+def _build_model(args, problem):
+    """Train/load the model the way ``repro predict`` always has."""
+    from .experiments.common import get_datasets, get_v2
+    from .experiments.harness import get_scale
+
+    scale = get_scale(args.scale)
+    if args.untrained:
+        from .core import AirchitectV2
+        return AirchitectV2(scale.model_config(), problem,
+                            np.random.default_rng(args.seed))
+    workspace = Workspace(args.cache)
+    train, _ = get_datasets(scale, workspace, problem)
+    return get_v2(scale, train, workspace, problem)
+
+
 def predict_main(argv: list[str] | None = None) -> int:
     """``repro predict``: one-shot DSE serving from the shell."""
     from .core import BatchedDSEPredictor, DSEPredictor
-    from .experiments.common import get_datasets, get_problem, get_v2
-    from .experiments.harness import get_scale, render_table
+    from .experiments.common import get_problem
+    from .experiments.harness import render_table
 
     parser = argparse.ArgumentParser(
         prog="repro predict",
@@ -112,43 +145,37 @@ def predict_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--micro-batch", type=int, default=1024,
                         help="rows per forward pass in batched mode "
                              "(default 1024)")
-    parser.add_argument("--scale", default=None, choices=sorted(SCALES),
-                        help="model scale (default: $REPRO_SCALE or 'small')")
-    parser.add_argument("--cache", default=None,
-                        help="training-cache directory (default: "
-                             "$REPRO_CACHE or .repro_cache)")
-    parser.add_argument("--untrained", action="store_true",
-                        help="skip training and use a freshly initialised "
-                             "model (smoke tests / throughput checks)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="RNG seed for --random and --untrained")
+    _add_model_args(parser)
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON document instead of a table")
     args = parser.parse_args(argv)
     if args.micro_batch < 1:
         parser.error("--micro-batch must be >= 1")
+    if args.random is not None and args.random < 1:
+        parser.error("--random must be >= 1")
 
     problem = get_problem()
-    scale = get_scale(args.scale)
-    if args.untrained:
-        from .core import AirchitectV2
-        model = AirchitectV2(scale.model_config(), problem,
-                             np.random.default_rng(args.seed))
-    else:
-        workspace = Workspace(args.cache)
-        train, _ = get_datasets(scale, workspace, problem)
-        model = get_v2(scale, train, workspace, problem)
-
     if args.random is not None:
         inputs = problem.sample_inputs(args.random,
                                        np.random.default_rng(args.seed))
     else:
-        inputs = _read_workload_file(args.input)
-        bad = (inputs[:, 3] < 0) | (inputs[:, 3] >= problem.bounds.n_dataflows)
-        if bad.any():
-            raise ValueError(
-                f"dataflow must be in 0..{problem.bounds.n_dataflows - 1}, "
-                f"got {sorted(set(inputs[bad, 3].tolist()))}")
+        # Validate the workload file *before* the (possibly expensive)
+        # model build, and fail with a diagnostic instead of a traceback.
+        try:
+            inputs = _read_workload_file(args.input)
+            bad = (inputs[:, 3] < 0) | \
+                (inputs[:, 3] >= problem.bounds.n_dataflows)
+            if bad.any():
+                raise ValueError(
+                    f"{args.input}: dataflow must be in "
+                    f"0..{problem.bounds.n_dataflows - 1}, "
+                    f"got {sorted(set(inputs[bad, 3].tolist()))}")
+        except (OSError, ValueError) as exc:
+            print(f"repro predict: error: {exc}", file=sys.stderr)
+            return 2
+
+    model = _build_model(args, problem)
+    if args.random is None:
         m, n, k = problem.clamp_inputs(inputs[:, 0], inputs[:, 1], inputs[:, 2])
         clamped = np.stack([m, n, k, inputs[:, 3]], axis=1)
         changed = int((clamped[:, :3] != inputs[:, :3]).any(axis=1).sum())
@@ -197,15 +224,89 @@ def predict_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro serve``: the dynamic-batching HTTP serving front-end."""
+    from .dse import ExhaustiveOracle
+    from .experiments.common import get_problem
+    from .serving import DSEServer, PersistentOracleCache
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve one-shot DSE predictions over HTTP with dynamic "
+                    "request batching (POST /predict, GET /healthz, "
+                    "GET /stats).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 8080)")
+    parser.add_argument("--max-batch-size", type=int, default=64,
+                        help="flush a coalesced batch at this many requests "
+                             "(default 64)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="flush a partial batch this long after its "
+                             "first request (default 2.0)")
+    parser.add_argument("--micro-batch", type=int, default=1024,
+                        help="engine rows per forward pass (default 1024)")
+    parser.add_argument("--oracle-cache", metavar="FILE", default=None,
+                        help="persistent oracle label-cache snapshot: loaded "
+                             "at startup (fingerprint-checked), saved on "
+                             "shutdown")
+    parser.add_argument("--log-requests", action="store_true",
+                        help="log every HTTP request to stderr")
+    _add_model_args(parser)
+    args = parser.parse_args(argv)
+    if args.max_batch_size < 1:
+        parser.error("--max-batch-size must be >= 1")
+    if args.max_wait_ms < 0:
+        parser.error("--max-wait-ms must be >= 0")
+
+    problem = get_problem()
+    model = _build_model(args, problem)
+    oracle = ExhaustiveOracle(problem)
+    cache = PersistentOracleCache(args.oracle_cache) \
+        if args.oracle_cache else None
+    if cache is not None:
+        loaded = cache.load(oracle)
+        if loaded:
+            print(f"oracle cache: warmed {loaded} entries from {cache.path}",
+                  file=sys.stderr)
+
+    server = DSEServer(model, host=args.host, port=args.port,
+                       max_batch_size=args.max_batch_size,
+                       max_wait_ms=args.max_wait_ms,
+                       micro_batch_size=args.micro_batch, oracle=oracle,
+                       log_requests=args.log_requests)
+    host, port = server.address
+    print(f"serving one-shot DSE predictions on http://{host}:{port} "
+          f"(max_batch_size={args.max_batch_size}, "
+          f"max_wait_ms={args.max_wait_ms:g}); Ctrl-C to stop",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        if cache is not None:
+            saved = cache.save(server.oracle)
+            print(f"oracle cache: saved {saved} entries to {cache.path}",
+                  file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "predict":
         return predict_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate AIRCHITECT v2 paper tables and figures "
-                    "('repro predict --help' for the DSE serving mode).")
+                    "('repro predict --help' for the DSE serving mode, "
+                    "'repro serve --help' for the HTTP server).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all"],
                         help="which artefact to regenerate")

@@ -120,7 +120,13 @@ class DSEPredictor:
 
 @dataclass
 class BatchPrediction:
-    """Result of a batched design-space sweep."""
+    """Result of a batched design-space sweep.
+
+    ``elapsed_s`` covers the whole sweep — prediction *and*, when
+    ``with_cost`` was requested, the oracle cost evaluation —
+    while ``predict_elapsed_s`` isolates the forward-pass phase.
+    ``samples_per_sec`` is derived from the total.
+    """
 
     inputs: np.ndarray          # (B, 4) the swept input tuples
     pe_idx: np.ndarray          # (B,) predicted PE-choice index
@@ -130,6 +136,7 @@ class BatchPrediction:
     predicted_cost: np.ndarray | None   # (B,) metric at the prediction
     elapsed_s: float
     samples_per_sec: float
+    predict_elapsed_s: float = 0.0
 
     def __len__(self) -> int:
         return len(self.inputs)
@@ -153,21 +160,44 @@ class BatchedDSEPredictor:
         Rows per forward pass.  Larger batches amortise per-call overhead
         but peak-allocate ``O(micro_batch * seq_len * d_model)`` floats;
         1024 is a good default on CPU.
+    on_batch:
+        Optional ``callback(rows, elapsed_s)`` invoked after every
+        completed forward pass (one call per micro-batch).  The serving
+        layer hangs its throughput accounting off this hook
+        (:meth:`repro.serving.ServingStats.record_forward`).
     """
 
-    def __init__(self, model: AirchitectV2, micro_batch_size: int = 1024):
+    def __init__(self, model: AirchitectV2, micro_batch_size: int = 1024,
+                 on_batch=None):
         if micro_batch_size < 1:
             raise ValueError("micro_batch_size must be >= 1")
         self.model = model
         self.problem = model.problem
         self.micro_batch_size = micro_batch_size
+        self.on_batch = on_batch
         self._default_oracle: ExhaustiveOracle | None = None
 
     # ------------------------------------------------------------------
     def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised one-shot DSE over pre-built (batch, 4) input tuples."""
-        return self.model.predict_indices(inputs,
-                                          batch_size=self.micro_batch_size)
+        if self.on_batch is None:
+            return self.model.predict_indices(inputs,
+                                              batch_size=self.micro_batch_size)
+        # Micro-batch here so every forward pass reports to the hook;
+        # chunking per row range is deterministic, so predictions are
+        # unchanged from the single delegated call above.
+        inputs = np.atleast_2d(np.asarray(inputs))
+        pe_out = np.empty(len(inputs), dtype=np.int64)
+        l2_out = np.empty(len(inputs), dtype=np.int64)
+        for start in range(0, len(inputs), self.micro_batch_size):
+            chunk = inputs[start:start + self.micro_batch_size]
+            tick = time.perf_counter()
+            pe, l2 = self.model.predict_indices(chunk,
+                                                batch_size=self.micro_batch_size)
+            self.on_batch(len(chunk), time.perf_counter() - tick)
+            sl = slice(start, start + len(chunk))
+            pe_out[sl], l2_out[sl] = pe, l2
+        return pe_out, l2_out
 
     def predict(self, m, n, k, dataflow) -> tuple[np.ndarray, np.ndarray]:
         """Predict (num_pes, l2_kb) for workload(s); scalars broadcast."""
@@ -180,12 +210,14 @@ class BatchedDSEPredictor:
         """Full design-space sweep: predictions, physical configs, timing.
 
         ``with_cost=True`` also evaluates the optimisation metric at each
-        predicted design point (via the — possibly cached — oracle).
+        predicted design point (via the — possibly cached — oracle); that
+        evaluation is part of ``elapsed_s`` (the serving-visible latency),
+        with the forward-pass share reported as ``predict_elapsed_s``.
         """
         inputs = np.atleast_2d(np.asarray(inputs))
         start = time.perf_counter()
         pe_idx, l2_idx = self.predict_indices(inputs)
-        elapsed = time.perf_counter() - start
+        predict_elapsed = time.perf_counter() - start
         num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
         cost = None
         if with_cost:
@@ -196,7 +228,9 @@ class BatchedDSEPredictor:
                     self._default_oracle = ExhaustiveOracle(self.problem)
                 oracle = self._default_oracle
             cost = oracle.cost_at(inputs, pe_idx, l2_idx)
+        elapsed = time.perf_counter() - start
         return BatchPrediction(inputs=inputs, pe_idx=pe_idx, l2_idx=l2_idx,
                                num_pes=num_pes, l2_kb=l2_kb,
                                predicted_cost=cost, elapsed_s=elapsed,
-                               samples_per_sec=len(inputs) / max(elapsed, 1e-12))
+                               samples_per_sec=len(inputs) / max(elapsed, 1e-12),
+                               predict_elapsed_s=predict_elapsed)

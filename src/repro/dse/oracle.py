@@ -19,6 +19,10 @@ learnable at all (set ``tolerance=0`` for the strict argmin).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -64,6 +68,10 @@ class ExhaustiveOracle:
     The cache is invalidated whenever ``problem``, ``tolerance`` or
     ``cost_model`` is reassigned, since each changes the labelling
     function.
+
+    All cache operations take an internal lock, so one oracle may be
+    shared across threads (the HTTP serving front-end runs one handler
+    thread per connection).
     """
 
     def __init__(self, problem: DSEProblem, cost_model: CostModel | None = None,
@@ -77,6 +85,7 @@ class ExhaustiveOracle:
         self._tolerance = tolerance
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
 
@@ -116,14 +125,82 @@ class ExhaustiveOracle:
         self._tolerance = value
 
     def cache_info(self) -> OracleCacheInfo:
-        return OracleCacheInfo(hits=self._hits, misses=self._misses,
-                               size=len(self._cache),
-                               capacity=self.cache_size)
+        with self._lock:
+            return OracleCacheInfo(hits=self._hits, misses=self._misses,
+                                   size=len(self._cache),
+                                   capacity=self.cache_size)
 
     def cache_clear(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def labelling_fingerprint(self) -> str:
+        """Digest of everything the label function depends on.
+
+        Two oracles with equal fingerprints produce identical labels, so
+        cached entries may move between them (the contract behind
+        :class:`repro.serving.PersistentOracleCache`).  Covers the feature
+        bounds, design-space choices, metric, tolerance, and every
+        technology constant of the cost model.
+        """
+        doc = {
+            "bounds": dataclasses.asdict(self._problem.bounds),
+            "pe_choices": self._problem.space.pe_choices.tolist(),
+            "l2_choices": self._problem.space.l2_choices.tolist(),
+            "metric": self._problem.metric,
+            "tolerance": self._tolerance,
+            "technology": dataclasses.asdict(self._cost_model.technology),
+        }
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def export_cache(self) -> dict[str, np.ndarray]:
+        """Snapshot the LRU cache as flat arrays (oldest entry first).
+
+        Returns ``{"keys": (N, 4) int64, "pe_idx": (N,), "l2_idx": (N,),
+        "best_cost": (N,)}`` — directly serialisable with ``np.savez`` and
+        accepted back by :meth:`import_cache`.
+        """
+        with self._lock:
+            n = len(self._cache)
+            keys = np.empty((n, 4), dtype=np.int64)
+            pe_idx = np.empty(n, dtype=np.int64)
+            l2_idx = np.empty(n, dtype=np.int64)
+            best = np.empty(n, dtype=np.float64)
+            for i, (key, entry) in enumerate(self._cache.items()):
+                keys[i] = key
+                pe_idx[i], l2_idx[i], best[i] = entry
+        return {"keys": keys, "pe_idx": pe_idx, "l2_idx": l2_idx,
+                "best_cost": best}
+
+    def import_cache(self, keys: np.ndarray, pe_idx: np.ndarray,
+                     l2_idx: np.ndarray, best_cost: np.ndarray) -> int:
+        """Merge exported entries into the LRU cache (in given order).
+
+        Existing entries are refreshed in place; the usual capacity bound
+        applies afterwards (oldest imports evicted first).  Hit/miss
+        counters are untouched — imports are warm-up, not traffic.  The
+        caller is responsible for fingerprint compatibility
+        (:meth:`labelling_fingerprint`); entries labelled under a
+        different problem would silently corrupt the cache.  Returns the
+        number of entries now resident.
+        """
+        if self.cache_size == 0:
+            return 0
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1, 4)
+        with self._lock:
+            for row, pe, l2, cost in zip(keys.tolist(), np.asarray(pe_idx),
+                                         np.asarray(l2_idx),
+                                         np.asarray(best_cost)):
+                key = tuple(row)
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                self._cache[key] = (int(pe), int(l2), float(cost))
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            return len(self._cache)
 
     # ------------------------------------------------------------------
     def solve(self, inputs: np.ndarray, keep_grid: bool = False) -> OracleResult:
@@ -139,40 +216,46 @@ class ExhaustiveOracle:
         if keep_grid or self.cache_size == 0:
             return self._solve_uncached(inputs, keep_grid)
 
-        keys = [tuple(row) for row in inputs.tolist()]
-        cache = self._cache
-        miss_order: dict[tuple, int] = {}
-        for key in keys:
-            if key in cache or key in miss_order:
-                # lru_cache semantics: a duplicate of a row already being
-                # solved in this batch is served from that result (a hit).
-                self._hits += 1
-            else:
-                self._misses += 1
-                miss_order[key] = len(miss_order)
+        # The lock spans classification AND the miss computation: another
+        # thread's eviction between the two would turn a classified hit
+        # into a KeyError.  Concurrent solves therefore serialise, which
+        # also avoids duplicate labelling of shared miss rows.
+        with self._lock:
+            keys = [tuple(row) for row in inputs.tolist()]
+            cache = self._cache
+            miss_order: dict[tuple, int] = {}
+            for key in keys:
+                if key in cache or key in miss_order:
+                    # lru_cache semantics: a duplicate of a row already being
+                    # solved in this batch is served from that result (a hit).
+                    self._hits += 1
+                else:
+                    self._misses += 1
+                    miss_order[key] = len(miss_order)
 
-        solved_map: dict[tuple, tuple] = {}
-        if miss_order:
-            miss_rows = np.array(list(miss_order), dtype=np.int64)
-            solved = self._solve_uncached(miss_rows, keep_grid=False)
-            for i, key in enumerate(miss_order):
-                solved_map[key] = (int(solved.pe_idx[i]), int(solved.l2_idx[i]),
-                                   float(solved.best_cost[i]))
+            solved_map: dict[tuple, tuple] = {}
+            if miss_order:
+                miss_rows = np.array(list(miss_order), dtype=np.int64)
+                solved = self._solve_uncached(miss_rows, keep_grid=False)
+                for i, key in enumerate(miss_order):
+                    solved_map[key] = (int(solved.pe_idx[i]),
+                                       int(solved.l2_idx[i]),
+                                       float(solved.best_cost[i]))
 
-        batch = len(keys)
-        pe_idx = np.empty(batch, dtype=np.int64)
-        l2_idx = np.empty(batch, dtype=np.int64)
-        best = np.empty(batch, dtype=np.float64)
-        for i, key in enumerate(keys):
-            entry = solved_map.get(key)
-            if entry is None:
-                entry = cache[key]
-                cache.move_to_end(key)
-            pe_idx[i], l2_idx[i], best[i] = entry
+            batch = len(keys)
+            pe_idx = np.empty(batch, dtype=np.int64)
+            l2_idx = np.empty(batch, dtype=np.int64)
+            best = np.empty(batch, dtype=np.float64)
+            for i, key in enumerate(keys):
+                entry = solved_map.get(key)
+                if entry is None:
+                    entry = cache[key]
+                    cache.move_to_end(key)
+                pe_idx[i], l2_idx[i], best[i] = entry
 
-        cache.update(solved_map)
-        while len(cache) > self.cache_size:
-            cache.popitem(last=False)
+            cache.update(solved_map)
+            while len(cache) > self.cache_size:
+                cache.popitem(last=False)
         return OracleResult(pe_idx=pe_idx, l2_idx=l2_idx, best_cost=best,
                             cost_grid=None)
 

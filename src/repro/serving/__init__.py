@@ -1,0 +1,31 @@
+"""``repro.serving`` — the multi-client DSE serving subsystem.
+
+Turns the batched inference engine (:class:`repro.core.BatchedDSEPredictor`)
+into a serving stack:
+
+* :class:`DynamicBatcher` / :class:`RequestQueue` — coalesce concurrent
+  single-workload requests into engine micro-batches (size-or-deadline
+  flush policy, per-request futures);
+* :class:`ShardedSweepExecutor` — split huge sweeps across worker
+  processes and reassemble the shards in order;
+* :class:`PersistentOracleCache` — snapshot/restore the oracle's label
+  cache across runs, fingerprint-guarded against stale labels;
+* :class:`DSEServer` — a stdlib threaded HTTP front-end
+  (``POST /predict``, ``GET /healthz``, ``GET /stats``) wired through the
+  batcher, with :class:`ServingStats` accounting throughout.
+
+``python -m repro serve`` is the CLI entry point.
+"""
+
+from .batcher import DynamicBatcher, RequestQueue, ServedPrediction
+from .cache import PersistentOracleCache, StaleCacheWarning
+from .server import DSEServer
+from .sharded import ShardedSweepExecutor
+from .stats import ServingStats
+
+__all__ = [
+    "DynamicBatcher", "RequestQueue", "ServedPrediction",
+    "ShardedSweepExecutor",
+    "PersistentOracleCache", "StaleCacheWarning",
+    "DSEServer", "ServingStats",
+]

@@ -1,0 +1,114 @@
+"""Persist the :class:`~repro.dse.ExhaustiveOracle` label cache across runs.
+
+The oracle's LRU cache makes repeated sweeps cheap *within* one process;
+this module makes it survive process boundaries: a snapshot is a single
+``.npz`` archive holding the exported entries plus a JSON metadata record
+keyed on the oracle's labelling fingerprint (problem bounds, design
+space, metric, tolerance, cost-model technology).  A fresh process with
+an equivalent oracle warm-starts from the snapshot; a process whose
+labelling function differs refuses the load with a warning — stale labels
+are worse than cold ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from ..dse import ExhaustiveOracle
+
+__all__ = ["PersistentOracleCache", "StaleCacheWarning"]
+
+_FORMAT_VERSION = 1
+
+
+class StaleCacheWarning(UserWarning):
+    """A snapshot was rejected because its labelling fingerprint differs."""
+
+
+class PersistentOracleCache:
+    """Disk snapshot/restore for an oracle's LRU label cache.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file (``.npz`` appended if absent).  Parent directories
+        are created on save.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # ------------------------------------------------------------------
+    def save(self, oracle: ExhaustiveOracle) -> int:
+        """Snapshot the oracle's cache; returns the entry count written.
+
+        Writes atomically (temp file + rename) so a concurrent reader
+        never sees a torn snapshot.
+        """
+        exported = oracle.export_cache()
+        meta = {"format_version": _FORMAT_VERSION,
+                "fingerprint": oracle.labelling_fingerprint(),
+                "entries": int(len(exported["keys"])),
+                "metric": oracle.problem.metric,
+                "tolerance": oracle.tolerance,
+                "saved_at": time.time()}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        try:
+            np.savez(tmp, meta=np.frombuffer(
+                json.dumps(meta).encode(), dtype=np.uint8), **exported)
+            # np.savez appends .npz to a path without the suffix.
+            produced = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+            os.replace(produced, self.path)
+        finally:
+            for leftover in (tmp, tmp.with_name(tmp.name + ".npz")):
+                if leftover.exists():  # pragma: no cover - error cleanup
+                    leftover.unlink()
+        return meta["entries"]
+
+    def read_meta(self) -> dict | None:
+        """Snapshot metadata, or ``None`` when no snapshot exists."""
+        if not self.exists():
+            return None
+        with np.load(self.path) as archive:
+            return json.loads(archive["meta"].tobytes().decode())
+
+    def load(self, oracle: ExhaustiveOracle) -> int:
+        """Warm the oracle from the snapshot; returns resident entries.
+
+        Returns 0 when no snapshot exists.  When the snapshot's labelling
+        fingerprint does not match the oracle's, the load is refused: a
+        :class:`StaleCacheWarning` is emitted and 0 returned (the cache
+        is left untouched).  The return value is the oracle's cache size
+        after the import — smaller than the snapshot when the oracle's
+        ``cache_size`` truncates it.
+        """
+        if not self.exists():
+            return 0
+        with np.load(self.path) as archive:
+            meta = json.loads(archive["meta"].tobytes().decode())
+            expected = oracle.labelling_fingerprint()
+            if meta.get("fingerprint") != expected or \
+                    meta.get("format_version") != _FORMAT_VERSION:
+                warnings.warn(
+                    f"oracle cache {self.path} was labelled under a "
+                    f"different problem/tolerance/cost-model fingerprint "
+                    f"({meta.get('fingerprint', '?')[:12]}... != "
+                    f"{expected[:12]}...); refusing stale load",
+                    StaleCacheWarning, stacklevel=2)
+                return 0
+            return oracle.import_cache(archive["keys"], archive["pe_idx"],
+                                       archive["l2_idx"],
+                                       archive["best_cost"])

@@ -1,0 +1,274 @@
+"""Stdlib HTTP front-end for the dynamic-batching DSE serving stack.
+
+``python -m repro serve`` runs this server.  It is deliberately plain
+``http.server`` — no framework dependency — with one thread per
+connection (:class:`ThreadingHTTPServer`); concurrency is harvested by
+the :class:`~repro.serving.DynamicBatcher` behind it, which coalesces the
+per-connection requests into engine micro-batches.
+
+Endpoints
+---------
+``POST /predict``
+    Request: ``{"workloads": [{"m": 64, "n": 512, "k": 256,
+    "dataflow": 0}, ...]}`` (or a single workload object; ``dataflow``
+    defaults to 0).  Optional ``"with_cost": true`` adds the predicted
+    design point's cost-model metric; ``"with_oracle": true`` also
+    returns the exact optimum (served from the oracle's — possibly
+    persistent — label cache) and the prediction's regret against it.
+    Response: ``{"predictions": [{"m": ..., "num_pes": ..., "l2_kb": ...,
+    "queue_wait_ms": ..., "batch_size": ...}, ...]}``.
+``GET /healthz``
+    ``{"status": "ok", "uptime_s": ...}`` — liveness probe.
+``GET /stats``
+    The :class:`~repro.serving.ServingStats` snapshot (requests, batches,
+    mean batch size, queue waits, forward passes, oracle cache hit rate).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..core import AirchitectV2, BatchedDSEPredictor
+from ..dse import ExhaustiveOracle
+from .batcher import DynamicBatcher
+from .stats import ServingStats
+
+__all__ = ["DSEServer"]
+
+_MAX_BODY_BYTES = 8 << 20
+_MAX_WORKLOADS_PER_REQUEST = 65536
+
+
+class _BadRequest(ValueError):
+    """Client error: reported as HTTP 400 with the message as detail."""
+
+
+def _parse_workloads(doc) -> list[tuple[int, int, int, int]]:
+    if isinstance(doc, dict) and "workloads" in doc:
+        items = doc["workloads"]
+    else:
+        items = doc
+    if isinstance(items, dict):
+        items = [items]
+    if not isinstance(items, list) or not items:
+        raise _BadRequest("body must be a workload object or a non-empty "
+                          "'workloads' list")
+    if len(items) > _MAX_WORKLOADS_PER_REQUEST:
+        raise _BadRequest(f"too many workloads in one request "
+                          f"(max {_MAX_WORKLOADS_PER_REQUEST})")
+    rows = []
+    for i, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise _BadRequest(f"workloads[{i}]: expected an object")
+        try:
+            rows.append((int(item["m"]), int(item["n"]), int(item["k"]),
+                         int(item.get("dataflow", 0))))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _BadRequest(f"workloads[{i}]: needs integer 'm', 'n', "
+                              f"'k' (and optional 'dataflow'): {exc}") \
+                from None
+    return rows
+
+
+class _ServingHandler(BaseHTTPRequestHandler):
+    server: "_ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        if self.server.dse.log_requests:  # pragma: no cover - verbose mode
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, doc: dict) -> None:
+        body = json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may not have drained the request body; under
+            # HTTP/1.1 keep-alive the unread bytes would desync the next
+            # request on this connection, so close it instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        dse = self.server.dse
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  "uptime_s": dse.stats.snapshot()["uptime_s"]})
+        elif self.path == "/stats":
+            self._send_json(200, dse.stats.snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except (TypeError, ValueError):
+                raise _BadRequest("invalid Content-Length header") from None
+            if length <= 0 or length > _MAX_BODY_BYTES:
+                raise _BadRequest("Content-Length required "
+                                  f"(max {_MAX_BODY_BYTES} bytes)")
+            try:
+                doc = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise _BadRequest(f"invalid JSON: {exc}") from None
+            self._send_json(200, self.server.dse.handle_predict(doc))
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            self.server.dse.stats.record_error()
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, dse: "DSEServer"):
+        self.dse = dse
+        super().__init__(address, _ServingHandler)
+
+
+class DSEServer:
+    """The full serving stack: engine -> batcher -> threaded HTTP server.
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`AirchitectV2`.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` for the bound one — tests rely on this).
+    max_batch_size / max_wait_ms:
+        The batcher's flush policy (see :class:`DynamicBatcher`).
+    oracle:
+        Optional shared :class:`ExhaustiveOracle` for ``with_cost``
+        requests and the ``/stats`` cache-hit-rate line; created lazily
+        when a request first needs one.
+    """
+
+    def __init__(self, model: AirchitectV2, host: str = "127.0.0.1",
+                 port: int = 0, max_batch_size: int = 64,
+                 max_wait_ms: float = 2.0, micro_batch_size: int | None = None,
+                 oracle: ExhaustiveOracle | None = None,
+                 request_timeout_s: float = 60.0,
+                 log_requests: bool = False):
+        self.model = model
+        self.problem = model.problem
+        self.oracle = oracle
+        self._oracle_lock = threading.Lock()
+        self.request_timeout_s = request_timeout_s
+        self.log_requests = log_requests
+        self.stats = ServingStats(oracle=oracle)
+        engine = BatchedDSEPredictor(
+            model,
+            micro_batch_size=micro_batch_size or max(max_batch_size, 1024),
+            on_batch=self.stats.record_forward)
+        self.batcher = DynamicBatcher(engine, max_batch_size=max_batch_size,
+                                      max_wait_ms=max_wait_ms,
+                                      stats=self.stats, start=False)
+        self._httpd = _ServingHTTPServer((host, port), self)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound (host, port)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def _ensure_oracle(self) -> ExhaustiveOracle:
+        with self._oracle_lock:
+            if self.oracle is None:
+                self.oracle = ExhaustiveOracle(self.problem)
+                self.stats.oracle = self.oracle
+            return self.oracle
+
+    def handle_predict(self, doc) -> dict:
+        """Serve one ``/predict`` body through the batcher (any thread)."""
+        rows = _parse_workloads(doc)
+        with_cost = bool(isinstance(doc, dict) and doc.get("with_cost"))
+        with_oracle = bool(isinstance(doc, dict) and doc.get("with_oracle"))
+        try:
+            if len(rows) > self.batcher.max_batch_size:
+                # Bulk bodies go straight to the vectorised engine; the
+                # queue exists to coalesce *small* concurrent requests.
+                served = self.batcher.predict_batch(rows)
+            else:
+                futures = [self.batcher.submit(m, n, k, df)
+                           for m, n, k, df in rows]
+                served = [f.result(self.request_timeout_s) for f in futures]
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        predictions = [s.as_dict() for s in served]
+        if with_cost or with_oracle:
+            oracle = self._ensure_oracle()
+            inputs = np.array([[s.m, s.n, s.k, s.dataflow] for s in served],
+                              dtype=np.int64)
+            costs = oracle.cost_at(
+                inputs, np.array([s.pe_idx for s in served]),
+                np.array([s.l2_idx for s in served]))
+            for pred, cost in zip(predictions, costs):
+                pred["predicted_cost"] = float(cost)
+        if with_oracle:
+            # The exact optimum (LRU/persistently cached) plus the
+            # prediction's regret against it.
+            labels = oracle.solve(inputs)
+            opt_pes, opt_l2 = self.problem.space.values(labels.pe_idx,
+                                                        labels.l2_idx)
+            for i, pred in enumerate(predictions):
+                pred["oracle_num_pes"] = int(opt_pes[i])
+                pred["oracle_l2_kb"] = int(opt_l2[i])
+                pred["oracle_cost"] = float(labels.best_cost[i])
+                pred["regret"] = float(
+                    pred["predicted_cost"]
+                    / max(labels.best_cost[i], 1e-12) - 1.0)
+        return {"predictions": predictions, "count": len(predictions)}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DSEServer":
+        """Serve in a background thread (tests / embedded use)."""
+        self.batcher.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="dse-http-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self.batcher.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self.batcher.stop()
+
+    def __enter__(self) -> "DSEServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,189 @@
+"""Shard large design-space sweeps across worker processes.
+
+Python-side forward passes hold the GIL, so beyond one core the batched
+engine scales with *processes*, not threads.  The executor:
+
+* writes the model's state dict once (``save_module``) and has each
+  worker rebuild + load it in its pool initializer — one model load per
+  worker, amortised over every shard that worker serves;
+* splits the sweep into contiguous shards, maps them over the pool, and
+  reassembles the results by shard index so the output ordering matches
+  the single-process :meth:`~repro.core.BatchedDSEPredictor.sweep`
+  exactly;
+* evaluates ``with_cost`` in the parent (the vectorised oracle pass is
+  memory-bound, and keeping it in-parent lets the oracle's LRU/persistent
+  cache keep accumulating);
+* falls back to the single-process engine when ``num_workers <= 1``, the
+  sweep is smaller than one shard, or the platform refuses to spawn a
+  pool (sandboxes without ``fork``).
+
+Predictions are bit-identical to the single-process sweep: sharding only
+partitions rows, and every row's forward pass is deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+import warnings
+
+import numpy as np
+
+from ..core import AirchitectV2, BatchedDSEPredictor, BatchPrediction
+from ..dse import ExhaustiveOracle
+from ..nn import load_module, save_module
+
+__all__ = ["ShardedSweepExecutor"]
+
+# Per-worker-process engine, installed by _init_worker (one per pool
+# process; plain module global because pool workers are single-threaded).
+_WORKER_ENGINE: BatchedDSEPredictor | None = None
+
+
+def _init_worker(config, problem, state_path: str, micro_batch_size: int) -> None:
+    global _WORKER_ENGINE
+    model = AirchitectV2(config, problem, np.random.default_rng(0))
+    load_module(model, state_path)
+    model.eval()
+    _WORKER_ENGINE = BatchedDSEPredictor(model,
+                                         micro_batch_size=micro_batch_size)
+
+
+def _run_shard(args: tuple[int, np.ndarray]) -> tuple[int, np.ndarray, np.ndarray]:
+    shard_idx, inputs = args
+    pe_idx, l2_idx = _WORKER_ENGINE.predict_indices(inputs)
+    return shard_idx, pe_idx, l2_idx
+
+
+class ShardedSweepExecutor:
+    """Run :meth:`BatchedDSEPredictor.sweep`-equivalent sweeps on N processes.
+
+    Parameters
+    ----------
+    model:
+        The trained :class:`AirchitectV2` to replicate into workers.
+    num_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8.  ``<= 1``
+        means single-process (no pool is ever created).
+    micro_batch_size:
+        Forwarded to each worker's engine.
+    min_shard_size:
+        Sweeps smaller than this skip the pool: process fan-out costs
+        more than it saves on tiny batches.
+    mp_context:
+        ``multiprocessing`` start method (default ``"fork"`` where
+        available — workers inherit nothing mutable, so fork is safe and
+        avoids re-importing the world per worker).
+    """
+
+    def __init__(self, model: AirchitectV2, num_workers: int | None = None,
+                 micro_batch_size: int = 1024, min_shard_size: int = 256,
+                 mp_context: str | None = None):
+        if num_workers is None:
+            num_workers = min(os.cpu_count() or 1, 8)
+        self.model = model
+        self.problem = model.problem
+        self.num_workers = max(1, int(num_workers))
+        self.micro_batch_size = micro_batch_size
+        self.min_shard_size = max(1, int(min_shard_size))
+        if mp_context is None:
+            mp_context = "fork" if "fork" in \
+                multiprocessing.get_all_start_methods() else "spawn"
+        self.mp_context = mp_context
+        self._fallback = BatchedDSEPredictor(model,
+                                             micro_batch_size=micro_batch_size)
+        self._pool = None
+        self._state_dir: tempfile.TemporaryDirectory | None = None
+        self._default_oracle: ExhaustiveOracle | None = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """Create the worker pool once; ``None`` means run single-process."""
+        if self._pool is not None or self.num_workers <= 1:
+            return self._pool
+        self._state_dir = tempfile.TemporaryDirectory(prefix="repro_shard_")
+        state_path = os.path.join(self._state_dir.name, "model.npz")
+        save_module(self.model, state_path)
+        try:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._pool = ctx.Pool(
+                self.num_workers, initializer=_init_worker,
+                initargs=(self.model.config, self.problem, state_path,
+                          self.micro_batch_size))
+        except (OSError, ValueError) as exc:
+            warnings.warn(f"could not start a {self.num_workers}-worker "
+                          f"pool ({exc}); falling back to single-process "
+                          f"sweeps", RuntimeWarning, stacklevel=3)
+            self.num_workers = 1
+            self._cleanup_state_dir()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._cleanup_state_dir()
+
+    def _cleanup_state_dir(self) -> None:
+        if self._state_dir is not None:
+            self._state_dir.cleanup()
+            self._state_dir = None
+
+    def __enter__(self) -> "ShardedSweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def shard(self, inputs: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Contiguous, order-preserving shards (one per worker, rounded up)."""
+        shard_size = max(self.min_shard_size,
+                         -(-len(inputs) // self.num_workers))
+        return [(i, inputs[start:start + shard_size])
+                for i, start in enumerate(range(0, len(inputs), shard_size))]
+
+    def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sharded one-shot DSE over pre-built (batch, 4) input tuples."""
+        inputs = np.atleast_2d(np.asarray(inputs))
+        pool = self._ensure_pool() \
+            if len(inputs) >= 2 * self.min_shard_size else None
+        if pool is None:
+            return self._fallback.predict_indices(inputs)
+        shards = self.shard(inputs)
+        pe_idx = np.empty(len(inputs), dtype=np.int64)
+        l2_idx = np.empty(len(inputs), dtype=np.int64)
+        offsets = np.cumsum([0] + [len(rows) for _, rows in shards])
+        # imap_unordered: shards reassemble by index, so completion order
+        # is irrelevant and the fastest workers never wait on the slowest.
+        for idx, pe, l2 in pool.imap_unordered(_run_shard, shards):
+            sl = slice(offsets[idx], offsets[idx + 1])
+            pe_idx[sl], l2_idx[sl] = pe, l2
+        return pe_idx, l2_idx
+
+    def sweep(self, inputs: np.ndarray, with_cost: bool = False,
+              oracle: ExhaustiveOracle | None = None) -> BatchPrediction:
+        """Sharded drop-in for :meth:`BatchedDSEPredictor.sweep`."""
+        inputs = np.atleast_2d(np.asarray(inputs))
+        start = time.perf_counter()
+        pe_idx, l2_idx = self.predict_indices(inputs)
+        predict_elapsed = time.perf_counter() - start
+        num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
+        cost = None
+        if with_cost:
+            if oracle is None:
+                if self._default_oracle is None:
+                    self._default_oracle = ExhaustiveOracle(self.problem)
+                oracle = self._default_oracle
+            cost = oracle.cost_at(inputs, pe_idx, l2_idx)
+        elapsed = time.perf_counter() - start
+        return BatchPrediction(inputs=inputs, pe_idx=pe_idx, l2_idx=l2_idx,
+                               num_pes=num_pes, l2_kb=l2_kb,
+                               predicted_cost=cost, elapsed_s=elapsed,
+                               samples_per_sec=len(inputs) / max(elapsed, 1e-12),
+                               predict_elapsed_s=predict_elapsed)

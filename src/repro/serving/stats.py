@@ -1,0 +1,102 @@
+"""Thread-safe serving counters shared by the batcher and the HTTP server.
+
+One :class:`ServingStats` instance is threaded through the whole serving
+stack: the :class:`~repro.serving.DynamicBatcher` records per-request queue
+waits and per-batch sizes, the engine's ``on_batch`` hook
+(:class:`repro.core.BatchedDSEPredictor`) records raw forward passes, and
+``GET /stats`` serialises a snapshot.  An optional attached oracle
+contributes its label-cache hit rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..dse import ExhaustiveOracle
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Aggregate serving counters (all methods thread-safe)."""
+
+    def __init__(self, oracle: ExhaustiveOracle | None = None):
+        self._lock = threading.Lock()
+        self.oracle = oracle
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.batches_total = 0
+        self.samples_total = 0
+        self.queued_samples = 0     # rows that waited in the queue (the
+                                    # denominator of the mean queue wait;
+                                    # bulk fast-path rows never queue)
+        self.forward_passes = 0
+        self.forward_rows = 0
+        self.forward_time_s = 0.0
+        self.queue_wait_total_s = 0.0
+        self.queue_wait_max_s = 0.0
+        self.errors_total = 0
+
+    # ------------------------------------------------------------------
+    def record_request(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests_total += count
+
+    def record_batch(self, size: int, queue_waits_s) -> None:
+        """One served batch: its size and the waits of its *queued* rows
+        (empty for the bulk fast path, which never queues)."""
+        with self._lock:
+            self.batches_total += 1
+            self.samples_total += size
+            for wait in queue_waits_s:
+                self.queued_samples += 1
+                self.queue_wait_total_s += wait
+                self.queue_wait_max_s = max(self.queue_wait_max_s, wait)
+
+    def record_forward(self, rows: int, elapsed_s: float) -> None:
+        """``on_batch`` hook: one engine forward pass completed."""
+        with self._lock:
+            self.forward_passes += 1
+            self.forward_rows += rows
+            self.forward_time_s += elapsed_s
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        return self.samples_total / self.batches_total if self.batches_total \
+            else 0.0
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        return self.queue_wait_total_s / self.queued_samples \
+            if self.queued_samples else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every counter (plus derived rates)."""
+        with self._lock:
+            doc = {
+                "uptime_s": time.time() - self.started_at,
+                "requests_total": self.requests_total,
+                "batches_total": self.batches_total,
+                "samples_total": self.samples_total,
+                "queued_samples": self.queued_samples,
+                "mean_batch_size": self.mean_batch_size,
+                "forward_passes": self.forward_passes,
+                "forward_rows": self.forward_rows,
+                "forward_time_s": self.forward_time_s,
+                "mean_queue_wait_ms": self.mean_queue_wait_s * 1e3,
+                "max_queue_wait_ms": self.queue_wait_max_s * 1e3,
+                "errors_total": self.errors_total,
+            }
+        if self.oracle is not None:
+            info = self.oracle.cache_info()
+            doc["oracle_cache"] = {"hits": info.hits, "misses": info.misses,
+                                   "size": info.size,
+                                   "capacity": info.capacity,
+                                   "hit_rate": info.hit_rate}
+        return doc

@@ -101,6 +101,43 @@ class TestSweepAPI:
         with pytest.raises(ValueError):
             BatchedDSEPredictor(_model(problem, 0), micro_batch_size=0)
 
+    def test_elapsed_includes_cost_phase(self, problem, small_dataset,
+                                         oracle):
+        """elapsed_s covers predict + oracle cost; predict_elapsed_s is
+        the forward-pass share only."""
+        engine = BatchedDSEPredictor(_model(problem, 5))
+        inputs = small_dataset.inputs[:80]
+        oracle.cache_clear()
+        result = engine.sweep(inputs, with_cost=True, oracle=oracle)
+        assert result.elapsed_s > result.predict_elapsed_s > 0
+        assert result.samples_per_sec == pytest.approx(
+            len(inputs) / result.elapsed_s, rel=1e-6)
+
+        without = engine.sweep(inputs)
+        assert without.elapsed_s >= without.predict_elapsed_s > 0
+
+
+class TestOnBatchHook:
+    def test_hook_sees_every_micro_batch(self, problem, small_dataset):
+        calls: list[tuple[int, float]] = []
+        engine = BatchedDSEPredictor(
+            _model(problem, 5), micro_batch_size=64,
+            on_batch=lambda rows, s: calls.append((rows, s)))
+        inputs = small_dataset.inputs[:150]
+        engine.predict_indices(inputs)
+        assert [rows for rows, _ in calls] == [64, 64, 22]
+        assert all(elapsed >= 0 for _, elapsed in calls)
+
+    def test_hooked_engine_predictions_unchanged(self, problem,
+                                                 small_dataset):
+        model = _model(problem, 8)
+        inputs = small_dataset.inputs[:100]
+        plain = BatchedDSEPredictor(model, micro_batch_size=32)
+        hooked = BatchedDSEPredictor(model, micro_batch_size=32,
+                                     on_batch=lambda *a: None)
+        np.testing.assert_array_equal(hooked.predict_indices(inputs),
+                                      plain.predict_indices(inputs))
+
 
 class TestEvaluateModelUsesBatchedPath:
     def test_metrics_identical_across_micro_batches(self, problem,

@@ -158,3 +158,41 @@ class TestInvalidation:
         oracle.cache_clear()
         info = oracle.cache_info()
         assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+
+class TestThreadSafety:
+    def test_concurrent_solves_on_a_small_cache(self, problem):
+        """Threaded HTTP handlers share one oracle: hammering a
+        capacity-bound cache from many threads must neither crash
+        (hit-classified keys evicted mid-solve) nor mislabel."""
+        import threading
+
+        oracle = ExhaustiveOracle(problem, cache_size=64)
+        reference = ExhaustiveOracle(problem, cache_size=0)
+        pools = [problem.sample_inputs(120, np.random.default_rng(s))
+                 for s in range(4)]
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(15):
+                    pool = pools[int(rng.integers(len(pools)))]
+                    rows = pool[rng.integers(len(pool), size=20)]
+                    got = oracle.solve(rows)
+                    want = reference.solve(rows)
+                    np.testing.assert_array_equal(got.pe_idx, want.pe_idx)
+                    np.testing.assert_array_equal(got.l2_idx, want.l2_idx)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = oracle.cache_info()
+        assert info.hits + info.misses == 8 * 15 * 20
+        assert info.size <= 64

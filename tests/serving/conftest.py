@@ -1,0 +1,22 @@
+"""Serving-suite fixtures: one small untrained model shared per session.
+
+Serving is prediction-agnostic — every layer's contract is parity with
+the per-sample :class:`~repro.core.DSEPredictor` — so an untrained model
+exercises the stack exactly as a trained one would, in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AirchitectV2, ModelConfig
+
+SERVE_MODEL_CONFIG = ModelConfig(d_model=16, n_layers=1, n_heads=2,
+                                 embed_dim=8)
+
+
+@pytest.fixture(scope="session")
+def serve_model(problem) -> AirchitectV2:
+    return AirchitectV2(SERVE_MODEL_CONFIG, problem,
+                        np.random.default_rng(2024))

@@ -1,0 +1,179 @@
+"""Dynamic batcher: coalescing, parity, flush policy, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedDSEPredictor, DSEPredictor
+from repro.serving import DynamicBatcher, ServingStats
+
+
+def _batcher(model, stats=None, start=False, **kwargs) -> DynamicBatcher:
+    stats = stats or ServingStats()
+    engine = BatchedDSEPredictor(model, micro_batch_size=1024,
+                                 on_batch=stats.record_forward)
+    return DynamicBatcher(engine, stats=stats, start=start, **kwargs)
+
+
+class TestCoalescing:
+    def test_queued_requests_coalesce_into_minimal_batches(self, serve_model,
+                                                           problem, rng):
+        """N queued requests are served in exactly ceil(N/max_batch) passes."""
+        batcher = _batcher(serve_model, max_batch_size=8, max_wait_ms=50)
+        inputs = problem.sample_inputs(20, rng)
+        futures = [batcher.submit(*map(int, row)) for row in inputs]
+        batcher.start()
+        results = [f.result(30) for f in futures]
+        batcher.stop()
+
+        assert batcher.stats.forward_passes == 3       # ceil(20 / 8)
+        assert batcher.stats.batches_total == 3
+        assert batcher.stats.requests_total == 20
+        assert batcher.stats.samples_total == 20
+        assert [r.batch_size for r in results[:8]] == [8] * 8
+
+    def test_concurrent_threads_share_forward_passes(self, serve_model,
+                                                     problem, rng):
+        """Threaded clients: ≤ one pass per request, correct per-thread
+        results, and (with a generous wait window) real coalescing."""
+        n_clients = 24
+        batcher = _batcher(serve_model, max_batch_size=8, max_wait_ms=100,
+                           start=True)
+        inputs = problem.sample_inputs(n_clients, rng)
+        results: dict[int, object] = {}
+        barrier = threading.Barrier(n_clients)
+
+        def client(i: int) -> None:
+            barrier.wait()
+            row = inputs[i]
+            results[i] = batcher.predict(*map(int, row), timeout=30)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.stop()
+
+        assert batcher.stats.forward_passes <= n_clients
+        # The barrier releases all clients at once into a 100 ms window,
+        # so at least some requests must have shared a batch.
+        assert batcher.stats.mean_batch_size > 1.0
+        pe_ref, l2_ref = DSEPredictor(serve_model).predict_indices(inputs)
+        for i in range(n_clients):
+            assert results[i].pe_idx == pe_ref[i]
+            assert results[i].l2_idx == l2_ref[i]
+
+
+class TestParityAndResults:
+    def test_predictions_identical_to_per_sample_predictor(self, serve_model,
+                                                           problem, rng):
+        inputs = problem.sample_inputs(40, rng)
+        with _batcher(serve_model, max_batch_size=16, max_wait_ms=5,
+                      start=True) as batcher:
+            served = [batcher.predict(*map(int, row)) for row in inputs]
+        pe_ref, l2_ref = DSEPredictor(serve_model).predict_indices(inputs)
+        np.testing.assert_array_equal([s.pe_idx for s in served], pe_ref)
+        np.testing.assert_array_equal([s.l2_idx for s in served], l2_ref)
+
+    def test_served_prediction_fields(self, serve_model, problem):
+        with _batcher(serve_model, start=True) as batcher:
+            result = batcher.predict(64, 512, 256, 1)
+        assert result.num_pes in problem.space.pe_choices
+        assert result.l2_kb in problem.space.l2_choices
+        assert result.num_pes == problem.space.pe_choices[result.pe_idx]
+        assert result.queue_wait_s >= 0
+        assert result.batch_size == 1
+        doc = result.as_dict()
+        assert doc["m"] == 64 and doc["dataflow"] == 1
+
+    def test_predict_batch_matches_per_sample_and_skips_queue(
+            self, serve_model, problem, rng):
+        inputs = problem.sample_inputs(150, rng)
+        batcher = _batcher(serve_model, max_batch_size=8, start=False)
+        served = batcher.predict_batch([tuple(map(int, row))
+                                        for row in inputs])
+        # Served synchronously without the worker thread ever running.
+        pe_ref, l2_ref = DSEPredictor(serve_model).predict_indices(inputs)
+        np.testing.assert_array_equal([s.pe_idx for s in served], pe_ref)
+        np.testing.assert_array_equal([s.l2_idx for s in served], l2_ref)
+        assert batcher.stats.requests_total == 150
+        assert batcher.stats.batches_total == 1
+        assert all(s.batch_size == 150 for s in served)
+
+    def test_predict_batch_validates_dataflow(self, serve_model):
+        batcher = _batcher(serve_model, start=False)
+        with pytest.raises(ValueError, match="dataflow"):
+            batcher.predict_batch([(8, 8, 8, 9)])
+
+    def test_oversized_dims_are_clamped_like_the_cli(self, serve_model,
+                                                     problem):
+        with _batcher(serve_model, start=True) as batcher:
+            result = batcher.predict(10**6, 10**6, 10**6, 0)
+        b = problem.bounds
+        assert (result.m, result.n, result.k) == (b.m_max, b.n_max, b.k_max)
+
+
+class TestValidationAndLifecycle:
+    def test_bad_dataflow_rejected_at_submit(self, serve_model):
+        batcher = _batcher(serve_model)
+        with pytest.raises(ValueError, match="dataflow"):
+            batcher.submit(8, 8, 8, dataflow=7)
+
+    def test_invalid_policy_rejected(self, serve_model):
+        engine = BatchedDSEPredictor(serve_model)
+        with pytest.raises(ValueError):
+            DynamicBatcher(engine, max_batch_size=0, start=False)
+        with pytest.raises(ValueError):
+            DynamicBatcher(engine, max_wait_ms=-1, start=False)
+
+    def test_stop_drains_pending_requests(self, serve_model, problem, rng):
+        batcher = _batcher(serve_model, max_batch_size=4, max_wait_ms=20)
+        futures = [batcher.submit(*map(int, row))
+                   for row in problem.sample_inputs(10, rng)]
+        batcher.start()
+        batcher.stop()
+        assert all(f.done() for f in futures)
+
+    def test_submit_after_stop_raises(self, serve_model):
+        batcher = _batcher(serve_model, start=True)
+        batcher.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(8, 8, 8)
+
+
+@pytest.mark.slow
+class TestSustainedLoad:
+    """Soak test (deselected by default; run with `pytest -m slow`)."""
+
+    def test_thousands_of_requests_from_a_client_fleet(self, serve_model,
+                                                       problem):
+        n_clients, per_client = 16, 250
+        inputs = problem.sample_inputs(n_clients * per_client,
+                                       np.random.default_rng(99))
+        batcher = _batcher(serve_model, max_batch_size=64, max_wait_ms=2,
+                           start=True)
+
+        def client(cid: int) -> None:
+            for r in range(per_client):
+                row = inputs[cid * per_client + r]
+                batcher.predict(*map(int, row), timeout=60)
+
+        threads = [threading.Thread(target=client, args=(c,))
+                   for c in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.stop()
+
+        stats = batcher.stats
+        assert stats.requests_total == n_clients * per_client
+        assert stats.samples_total == stats.requests_total
+        assert stats.errors_total == 0
+        assert stats.mean_batch_size > 2.0     # real coalescing under load
+        assert stats.forward_passes == stats.batches_total

@@ -1,0 +1,127 @@
+"""Persistent oracle cache: round-trip, warm hit rates, stale rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DSEProblem, ExhaustiveOracle
+from repro.maestro import CostModel, Technology
+from repro.serving import PersistentOracleCache, StaleCacheWarning
+
+
+@pytest.fixture
+def cache(tmp_path) -> PersistentOracleCache:
+    return PersistentOracleCache(tmp_path / "oracle_cache")
+
+
+class TestRoundTrip:
+    def test_fresh_oracle_warm_starts_with_full_hit_rate(self, problem, rng,
+                                                         cache):
+        """The cross-process contract: save in one 'process', load in a
+        fresh oracle, and the same sweep is served entirely from cache."""
+        inputs = problem.sample_inputs(200, rng)
+        warm = ExhaustiveOracle(problem)
+        reference = warm.solve(inputs)
+        assert cache.save(warm) == warm.cache_info().size
+
+        cold = ExhaustiveOracle(problem)
+        assert cache.load(cold) > 0
+        result = cold.solve(inputs)
+        info = cold.cache_info()
+        assert info.hits == len(inputs) and info.misses == 0
+        assert info.hit_rate == 1.0
+        np.testing.assert_array_equal(result.pe_idx, reference.pe_idx)
+        np.testing.assert_array_equal(result.l2_idx, reference.l2_idx)
+        np.testing.assert_array_equal(result.best_cost, reference.best_cost)
+
+    def test_missing_snapshot_loads_nothing(self, problem, cache):
+        assert not cache.exists()
+        assert cache.load(ExhaustiveOracle(problem)) == 0
+
+    def test_meta_records_fingerprint_and_entry_count(self, problem, rng,
+                                                      cache):
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(50, rng))
+        cache.save(oracle)
+        meta = cache.read_meta()
+        assert meta["fingerprint"] == oracle.labelling_fingerprint()
+        assert meta["entries"] == oracle.cache_info().size
+        assert meta["tolerance"] == oracle.tolerance
+
+
+class TestStaleRejection:
+    def _saved(self, problem, rng, cache) -> None:
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(30, rng))
+        cache.save(oracle)
+
+    @pytest.mark.parametrize("make_stale", [
+        lambda p: ExhaustiveOracle(p, tolerance=0.1),
+        lambda p: ExhaustiveOracle(DSEProblem(metric="energy")),
+        lambda p: ExhaustiveOracle(
+            p, cost_model=CostModel(Technology(dram_bandwidth=32.0))),
+    ], ids=["tolerance", "metric", "technology"])
+    def test_mismatched_fingerprint_refused_with_warning(self, problem, rng,
+                                                         cache, make_stale):
+        self._saved(problem, rng, cache)
+        stale = make_stale(problem)
+        with pytest.warns(StaleCacheWarning, match="fingerprint"):
+            assert cache.load(stale) == 0
+        assert stale.cache_info().size == 0       # cache left untouched
+
+    def test_matching_fingerprint_loads_silently(self, problem, rng, cache,
+                                                 recwarn):
+        self._saved(problem, rng, cache)
+        assert cache.load(ExhaustiveOracle(problem)) > 0
+        assert not [w for w in recwarn
+                    if isinstance(w.message, StaleCacheWarning)]
+
+
+class TestExportImportAPI:
+    def test_export_preserves_lru_order_and_import_respects_capacity(
+            self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        inputs = problem.sample_inputs(40, rng)
+        oracle.solve(inputs)
+        exported = oracle.export_cache()
+        assert len(exported["keys"]) == oracle.cache_info().size
+
+        tiny = ExhaustiveOracle(problem, cache_size=10)
+        assert tiny.import_cache(**exported) == 10
+        # The *newest* (most recently used) entries survive eviction.
+        survivors = set(map(tuple, tiny.export_cache()["keys"].tolist()))
+        assert survivors == set(map(tuple,
+                                    exported["keys"][-10:].tolist()))
+
+    def test_load_reports_resident_count_not_snapshot_size(self, problem,
+                                                           rng, cache):
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(40, rng))
+        snapshot_size = oracle.cache_info().size
+        cache.save(oracle)
+        tiny = ExhaustiveOracle(problem, cache_size=10)
+        assert cache.load(tiny) == 10 < snapshot_size
+        disabled = ExhaustiveOracle(problem, cache_size=0)
+        assert cache.load(disabled) == 0
+
+    def test_import_into_disabled_cache_is_a_noop(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(5, rng))
+        disabled = ExhaustiveOracle(problem, cache_size=0)
+        assert disabled.import_cache(**oracle.export_cache()) == 0
+
+    def test_import_does_not_touch_hit_miss_counters(self, problem, rng):
+        oracle = ExhaustiveOracle(problem)
+        oracle.solve(problem.sample_inputs(20, rng))
+        target = ExhaustiveOracle(problem)
+        target.import_cache(**oracle.export_cache())
+        info = target.cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.size > 0
+
+    def test_fingerprint_stable_across_equivalent_oracles(self, problem):
+        a = ExhaustiveOracle(problem)
+        b = ExhaustiveOracle(DSEProblem())
+        assert a.labelling_fingerprint() == b.labelling_fingerprint()
+        c = ExhaustiveOracle(problem, tolerance=0.05)
+        assert c.labelling_fingerprint() != a.labelling_fingerprint()

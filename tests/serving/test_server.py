@@ -1,0 +1,213 @@
+"""End-to-end HTTP smoke tests against an ephemeral-port DSEServer."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import DSEPredictor
+from repro.serving import DSEServer
+
+
+@pytest.fixture
+def server(serve_model):
+    srv = DSEServer(serve_model, port=0, max_batch_size=16, max_wait_ms=2)
+    with srv:
+        yield srv
+
+
+def _get(server: DSEServer, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _post(server: DSEServer, path: str, doc) -> tuple[int, dict]:
+    body = json.dumps(doc).encode()
+    req = urllib.request.Request(server.url + path, data=body,
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, doc = _get(server, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["uptime_s"] >= 0
+
+    def test_predict_single_workload_matches_predictor(self, server,
+                                                       serve_model):
+        status, doc = _post(server, "/predict",
+                            {"m": 64, "n": 512, "k": 256, "dataflow": 1})
+        assert status == 200
+        pred = doc["predictions"][0]
+        pe, l2 = DSEPredictor(serve_model).predict(64, 512, 256, 1)
+        assert pred["num_pes"] == int(pe[0])
+        assert pred["l2_kb"] == int(l2[0])
+
+    def test_predict_workload_list_with_cost(self, server, problem):
+        workloads = [{"m": 8, "n": 8, "k": 8},
+                     {"m": 128, "n": 1024, "k": 512, "dataflow": 2}]
+        status, doc = _post(server, "/predict",
+                            {"workloads": workloads, "with_cost": True})
+        assert status == 200
+        assert doc["count"] == 2
+        for pred in doc["predictions"]:
+            assert pred["num_pes"] in problem.space.pe_choices
+            assert pred["predicted_cost"] > 0
+
+    def test_with_oracle_reports_optimum_and_warms_label_cache(self, server,
+                                                               problem):
+        body = {"workloads": [{"m": 48, "n": 300, "k": 96, "dataflow": 1}],
+                "with_oracle": True}
+        status, doc = _post(server, "/predict", body)
+        assert status == 200
+        pred = doc["predictions"][0]
+        assert pred["oracle_num_pes"] in problem.space.pe_choices
+        assert pred["oracle_cost"] > 0
+        # The label is the cheapest config within the oracle's 2%
+        # tolerance band, so regret can be marginally negative.
+        assert pred["regret"] >= -0.021
+        # The repeat request is served from the oracle's label cache —
+        # the in-process face of the persistent-cache contract.
+        _post(server, "/predict", body)
+        _, stats = _get(server, "/stats")
+        assert stats["oracle_cache"]["hits"] >= 1
+
+    def test_stats_reflect_traffic(self, server):
+        _post(server, "/predict", {"workloads": [
+            {"m": 16, "n": 16, "k": 16}, {"m": 32, "n": 32, "k": 32}],
+            "with_cost": True})
+        status, doc = _get(server, "/stats")
+        assert status == 200
+        assert doc["requests_total"] >= 2
+        assert doc["samples_total"] >= 2
+        assert doc["batches_total"] >= 1
+        assert doc["forward_passes"] >= 1
+        assert doc["mean_batch_size"] > 0
+        # with_cost created the lazy oracle, so /stats now reports its
+        # label-cache accounting.
+        assert "oracle_cache" in doc
+
+
+class TestConcurrentClients:
+    def test_parallel_posts_all_answered_and_batched(self, server,
+                                                     serve_model, problem):
+        inputs = problem.sample_inputs(12, np.random.default_rng(5))
+        answers: dict[int, dict] = {}
+        barrier = threading.Barrier(len(inputs))
+
+        def client(i: int) -> None:
+            row = inputs[i]
+            barrier.wait()
+            _, doc = _post(server, "/predict",
+                           {"m": int(row[0]), "n": int(row[1]),
+                            "k": int(row[2]), "dataflow": int(row[3])})
+            answers[i] = doc["predictions"][0]
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(inputs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        pe_ref, _ = DSEPredictor(serve_model).predict_indices(inputs)
+        for i in range(len(inputs)):
+            assert answers[i]["pe_idx"] == pe_ref[i]
+        _, stats = _get(server, "/stats")
+        assert stats["forward_passes"] <= len(inputs)
+
+
+class TestBulkBodies:
+    def test_large_body_served_in_one_engine_batch(self, server, serve_model,
+                                                   problem):
+        """Bodies above max_batch_size bypass the queue: one vectorised
+        engine call, not ceil(N/max_batch) coalesced batches."""
+        inputs = problem.sample_inputs(200, np.random.default_rng(11))
+        workloads = [{"m": int(r[0]), "n": int(r[1]), "k": int(r[2]),
+                      "dataflow": int(r[3])} for r in inputs]
+        status, doc = _post(server, "/predict", {"workloads": workloads})
+        assert status == 200
+        assert doc["count"] == 200
+        pe_ref, _ = DSEPredictor(serve_model).predict_indices(inputs)
+        assert [p["pe_idx"] for p in doc["predictions"]] == pe_ref.tolist()
+        _, stats = _get(server, "/stats")
+        assert stats["requests_total"] == 200
+        assert stats["batches_total"] == 1
+        assert stats["forward_passes"] == 1     # engine micro-batch >= 200
+        # Bulk rows never queued, so they must not dilute the wait mean.
+        assert stats["queued_samples"] == 0
+        assert stats["mean_queue_wait_ms"] == 0.0
+
+
+class TestErrorHandling:
+    def test_unknown_path_404(self, server):
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/nope", {})[0] == 404
+
+    def test_bad_content_length_400(self, server):
+        import http.client
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/predict")
+            conn.putheader("Content-Length", "abc")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert "Content-Length" in json.loads(resp.read())["error"]
+        finally:
+            conn.close()
+
+    def test_error_responses_close_keepalive_connections(self, server):
+        """A 400 sent before the body was drained must not leave unread
+        bytes to desync the next request on a persistent connection."""
+        import http.client
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            body = b"x" * 128              # never read by the server
+            conn.putrequest("POST", "/predict")
+            conn.putheader("Content-Length", str(9 << 20))  # over the cap
+            conn.endheaders()
+            conn.send(body)
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+        finally:
+            conn.close()
+        # And the server keeps answering fresh connections.
+        assert _get(server, "/healthz")[0] == 200
+
+    def test_invalid_json_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/predict", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    @pytest.mark.parametrize("body", [
+        {}, {"workloads": []}, {"workloads": [{"m": 1}]},
+        {"workloads": [{"m": 8, "n": 8, "k": 8, "dataflow": 9}]},
+        {"workloads": ["not-an-object"]},
+    ], ids=["empty", "no-workloads", "missing-keys", "bad-dataflow",
+            "non-object"])
+    def test_malformed_bodies_400_with_detail(self, server, body):
+        status, doc = _post(server, "/predict", body)
+        assert status == 400
+        assert "error" in doc

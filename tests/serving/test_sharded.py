@@ -1,0 +1,82 @@
+"""Sharded sweep executor: exact parity with the single-process engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedDSEPredictor
+from repro.serving import ShardedSweepExecutor
+
+
+class TestSharding:
+    def test_shards_are_contiguous_and_cover_everything(self, serve_model,
+                                                        problem, rng):
+        ex = ShardedSweepExecutor(serve_model, num_workers=4,
+                                  min_shard_size=10)
+        inputs = problem.sample_inputs(103, rng)
+        shards = ex.shard(inputs)
+        reassembled = np.concatenate([rows for _, rows in shards])
+        np.testing.assert_array_equal(reassembled, inputs)
+        assert [idx for idx, _ in shards] == list(range(len(shards)))
+        assert len(shards) <= 4
+
+    def test_small_sweeps_skip_the_pool(self, serve_model, problem, rng):
+        ex = ShardedSweepExecutor(serve_model, num_workers=4,
+                                  min_shard_size=256)
+        ex.predict_indices(problem.sample_inputs(64, rng))
+        assert ex._pool is None        # fallback path, no fork cost
+        ex.close()
+
+
+class TestParity:
+    def test_10k_sweep_matches_single_process_exactly(self, serve_model,
+                                                      problem):
+        """The acceptance gate: 10k workloads, bit-identical shards."""
+        inputs = problem.sample_inputs(10_000, np.random.default_rng(7))
+        single = BatchedDSEPredictor(serve_model).sweep(inputs)
+        with ShardedSweepExecutor(serve_model, num_workers=3,
+                                  min_shard_size=64) as ex:
+            sharded = ex.sweep(inputs)
+        np.testing.assert_array_equal(sharded.pe_idx, single.pe_idx)
+        np.testing.assert_array_equal(sharded.l2_idx, single.l2_idx)
+        np.testing.assert_array_equal(sharded.num_pes, single.num_pes)
+        np.testing.assert_array_equal(sharded.l2_kb, single.l2_kb)
+
+    def test_with_cost_matches_and_reuses_parent_oracle(self, serve_model,
+                                                        problem, rng):
+        inputs = problem.sample_inputs(300, rng)
+        single = BatchedDSEPredictor(serve_model).sweep(inputs,
+                                                        with_cost=True)
+        with ShardedSweepExecutor(serve_model, num_workers=2,
+                                  min_shard_size=32) as ex:
+            sharded = ex.sweep(inputs, with_cost=True)
+            np.testing.assert_allclose(sharded.predicted_cost,
+                                       single.predicted_cost, rtol=1e-12)
+            # The cost pass runs in the parent so its oracle accumulates.
+            assert ex._default_oracle is not None
+
+    def test_pool_is_reused_across_sweeps(self, serve_model, problem, rng):
+        with ShardedSweepExecutor(serve_model, num_workers=2,
+                                  min_shard_size=32) as ex:
+            ex.predict_indices(problem.sample_inputs(200, rng))
+            pool = ex._pool
+            ex.predict_indices(problem.sample_inputs(200, rng))
+            assert ex._pool is pool    # workers load the model once
+
+    def test_single_worker_never_forks(self, serve_model, problem, rng):
+        ex = ShardedSweepExecutor(serve_model, num_workers=1)
+        inputs = problem.sample_inputs(600, rng)
+        pe, l2 = ex.predict_indices(inputs)
+        assert ex._pool is None
+        reference = BatchedDSEPredictor(serve_model).predict_indices(inputs)
+        np.testing.assert_array_equal(pe, reference[0])
+        np.testing.assert_array_equal(l2, reference[1])
+
+    def test_timing_fields_populated(self, serve_model, problem, rng):
+        with ShardedSweepExecutor(serve_model, num_workers=2,
+                                  min_shard_size=32) as ex:
+            result = ex.sweep(problem.sample_inputs(200, rng),
+                              with_cost=True)
+        assert result.elapsed_s >= result.predict_elapsed_s > 0
+        assert result.samples_per_sec > 0

@@ -40,19 +40,53 @@ class TestPredictCommand:
         assert "num_pes" in out
         assert "2 samples" in out
 
-    def test_malformed_input_rejected(self, tmp_path):
+    def test_malformed_input_exits_nonzero_with_message(self, tmp_path,
+                                                        capsys):
         wl = tmp_path / "bad.txt"
         wl.write_text("64 512\n")
-        with pytest.raises(ValueError):
-            main(["predict", "--untrained", "--input", str(wl),
-                  "--scale", "tiny"])
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--scale", "tiny"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro predict: error:" in err
+        assert f"{wl}:1" in err and "M N K" in err
 
-    def test_out_of_range_dataflow_rejected(self, tmp_path):
+    def test_non_integer_input_exits_nonzero(self, tmp_path, capsys):
+        wl = tmp_path / "bad.txt"
+        wl.write_text("64 abc 12\n")
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--scale", "tiny"])
+        assert code == 2
+        assert "expected 'M N K" in capsys.readouterr().err
+
+    def test_empty_input_file_exits_nonzero(self, tmp_path, capsys):
+        wl = tmp_path / "empty.txt"
+        wl.write_text("# only a comment\n")
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--scale", "tiny"])
+        assert code == 2
+        assert "no workloads found" in capsys.readouterr().err
+
+    def test_missing_input_file_exits_nonzero(self, tmp_path, capsys):
+        code = main(["predict", "--untrained", "--input",
+                     str(tmp_path / "does_not_exist.txt"), "--scale", "tiny"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("n", ["0", "-3"])
+    def test_nonpositive_random_rejected(self, n, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["predict", "--untrained", "--random", n, "--scale", "tiny"])
+        assert err.value.code == 2
+        assert "--random must be >= 1" in capsys.readouterr().err
+
+    def test_out_of_range_dataflow_exits_nonzero(self, tmp_path, capsys):
         wl = tmp_path / "bad_df.txt"
-        wl.write_text("8 8 8 7\n8 8 8 -1\n")
-        with pytest.raises(ValueError, match="dataflow must be in 0..2"):
-            main(["predict", "--untrained", "--input", str(wl),
-                  "--scale", "tiny"])
+        wl.write_text("8 8 8 7\n8 8 8 1\n")
+        code = main(["predict", "--untrained", "--input", str(wl),
+                     "--scale", "tiny"])
+        assert code == 2
+        assert "dataflow must be in 0..2" in capsys.readouterr().err
 
     def test_out_of_range_dims_clamped(self, tmp_path, capsys):
         wl = tmp_path / "big.txt"
@@ -63,3 +97,24 @@ class TestPredictCommand:
         doc = json.loads(capsys.readouterr().out)
         pred = doc["predictions"][0]
         assert pred["m"] == 256 and pred["n"] == 1677 and pred["k"] == 1185
+
+
+class TestServeCommand:
+    """`repro serve` argument validation (the serving stack itself is
+    exercised end-to-end in tests/serving/test_server.py)."""
+
+    @pytest.mark.parametrize("flags", [
+        ["--max-batch-size", "0"],
+        ["--max-wait-ms", "-1"],
+    ], ids=["batch-size", "wait"])
+    def test_bad_flush_policy_rejected(self, flags, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--untrained", "--scale", "tiny"] + flags)
+        assert err.value.code == 2
+        assert "must be" in capsys.readouterr().err
+
+    def test_help_mentions_endpoints(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--help"])
+        assert err.value.code == 0
+        assert "/predict" in capsys.readouterr().out
