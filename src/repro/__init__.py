@@ -27,7 +27,7 @@ See README.md and DESIGN.md for the architecture and experiment index.
 __version__ = "1.0.0"
 
 from . import analysis, baselines, core, dse, maestro, nn, scalesim, search
-from . import uov, workloads
+from . import train, uov, workloads
 
 __all__ = ["analysis", "baselines", "core", "dse", "maestro", "nn",
-           "scalesim", "search", "uov", "workloads", "__version__"]
+           "scalesim", "search", "train", "uov", "workloads", "__version__"]

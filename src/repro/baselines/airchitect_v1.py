@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..dse import DSEDataset, DSEProblem
+from ..train import OptimSpec, TrainLoop, TrainTask
 from ..uov import UOVCodec
 
 __all__ = ["V1Config", "AirchitectV1", "train_v1"]
@@ -108,50 +109,54 @@ class AirchitectV1(nn.Module):
         return pe_out, l2_out
 
 
-def train_v1(model: AirchitectV1, dataset: DSEDataset,
-             verbose: bool = False) -> dict:
+class _V1Task(TrainTask):
+    """Supervised joint-classification (or UOV) training of the v1 MLP."""
+
+    name = "v1"
+    history_keys = ("loss",)
+
+    def __init__(self, model: AirchitectV1, dataset: DSEDataset):
+        self.model = model
+        self.dataset = dataset
+        self.epochs = model.config.epochs
+        self.seed = model.config.seed
+        self.unification = nn.UnificationLoss()
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        cfg = self.model.config
+        if cfg.head_style == "joint":
+            targets = self.dataset.joint_labels(self.model.problem.space.n_l2)
+            data = nn.ArrayDataset(self.dataset.inputs, targets)
+        else:
+            data = nn.ArrayDataset(self.dataset.inputs,
+                                   self.model.pe_codec.encode(self.dataset.pe_idx),
+                                   self.model.l2_codec.encode(self.dataset.l2_idx))
+        return nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        cfg = self.model.config
+        return {"main": OptimSpec(self.model.parameters(), cfg.lr,
+                                  schedule=nn.cosine_schedule(cfg.epochs),
+                                  grad_clip=cfg.grad_clip)}
+
+    def batch_step(self, batch, step, rng) -> dict[str, float]:
+        if self.model.config.head_style == "joint":
+            xb, yb = batch
+            pe_logits, _ = self.model.forward(xb)
+            loss = nn.cross_entropy(pe_logits, yb)
+        else:
+            xb, pe_q, l2_q = batch
+            pe_logits, l2_logits = self.model.forward(xb)
+            loss = self.unification(pe_logits, pe_q) \
+                + self.unification(l2_logits, l2_q)
+        step.apply(loss)
+        return {"loss": loss.item()}
+
+
+def train_v1(model: AirchitectV1, dataset: DSEDataset, verbose: bool = False,
+             callbacks=(), checkpoint_path=None, checkpoint_every: int = 1,
+             resume: bool = True) -> dict:
     """Supervised training of the v1 baseline; returns loss history."""
-    cfg = model.config
-    rng = np.random.default_rng(cfg.seed)
-    model.train()
-
-    if cfg.head_style == "joint":
-        targets = dataset.joint_labels(model.problem.space.n_l2)
-        data = nn.ArrayDataset(dataset.inputs, targets)
-    else:
-        data = nn.ArrayDataset(dataset.inputs,
-                               model.pe_codec.encode(dataset.pe_idx),
-                               model.l2_codec.encode(dataset.l2_idx))
-    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
-
-    params = model.parameters()
-    optimizer = nn.Adam(params, lr=cfg.lr)
-    scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
-    unification = nn.UnificationLoss()
-
-    history = {"loss": []}
-    for epoch in range(cfg.epochs):
-        total, batches = 0.0, 0
-        for batch in loader:
-            if cfg.head_style == "joint":
-                xb, yb = batch
-                pe_logits, _ = model.forward(xb)
-                loss = nn.cross_entropy(pe_logits, yb)
-            else:
-                xb, pe_q, l2_q = batch
-                pe_logits, l2_logits = model.forward(xb)
-                loss = unification(pe_logits, pe_q) + unification(l2_logits, l2_q)
-
-            optimizer.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(params, cfg.grad_clip)
-            optimizer.step()
-            total += loss.item()
-            batches += 1
-        scheduler.step()
-        history["loss"].append(total / max(batches, 1))
-        if verbose:
-            print(f"[v1] epoch {epoch + 1}/{cfg.epochs} "
-                  f"loss={history['loss'][-1]:.4f}")
-    model.eval()
-    return history
+    loop = TrainLoop(_V1Task(model, dataset), callbacks=callbacks)
+    return loop.fit(verbose=verbose, checkpoint_path=checkpoint_path,
+                    checkpoint_every=checkpoint_every, resume=resume)

@@ -25,6 +25,7 @@ import numpy as np
 
 from .. import nn
 from ..dse import DSEDataset, DSEProblem
+from ..train import OptimSpec, TrainLoop, TrainTask
 
 __all__ = ["GANDSEConfig", "GANDSE", "train_gandse"]
 
@@ -149,68 +150,79 @@ class GANDSE(nn.Module):
         return pe_out, l2_out
 
 
-def train_gandse(model: GANDSE, dataset: DSEDataset,
-                 verbose: bool = False) -> dict:
+class _GANDSETask(TrainTask):
+    """Alternating discriminator/generator steps — the multi-optimiser case
+    of the unified runtime (two :class:`OptimSpec` slots, two updates per
+    batch)."""
+
+    name = "gandse"
+    history_keys = ("g_loss", "d_loss")
+
+    def __init__(self, model: GANDSE, dataset: DSEDataset):
+        self.model = model
+        self.dataset = dataset
+        self.epochs = model.config.epochs
+        self.seed = model.config.seed
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        cfg = self.model.config
+        designs = self.model.normalise_labels(self.dataset)
+        data = nn.ArrayDataset(self.dataset.inputs, designs)
+        return nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        cfg = self.model.config
+        return {
+            "generator": OptimSpec(self.model.generator.parameters(),
+                                   cfg.lr_generator, grad_clip=cfg.grad_clip),
+            "discriminator": OptimSpec(self.model.discriminator.parameters(),
+                                       cfg.lr_discriminator,
+                                       grad_clip=cfg.grad_clip),
+        }
+
+    def batch_step(self, batch, step, rng) -> dict[str, float]:
+        model = self.model
+        cfg = model.config
+        xb, real = batch
+        feats = nn.Tensor(model.problem.featurize(xb))
+        batch_n = len(xb)
+
+        # --- Discriminator step -------------------------------------
+        # Positives: (features, optimal design).  Negatives: generator
+        # fakes AND matching-aware mismatches — optimal designs paired
+        # with the wrong workload (shuffled) — so D learns *conditioned*
+        # optimality rather than marginal design realism.
+        noise = nn.Tensor(rng.normal(size=(batch_n, cfg.noise_dim)))
+        fake = model.generator(feats, noise).detach()
+        mismatched = real[rng.permutation(batch_n)]
+        d_real = model.discriminator(feats, nn.Tensor(real))
+        d_fake = model.discriminator(feats, fake)
+        d_mismatch = model.discriminator(feats, nn.Tensor(mismatched))
+        d_loss = (nn.binary_cross_entropy_with_logits(d_real, np.ones(batch_n)).mean()
+                  + nn.binary_cross_entropy_with_logits(d_fake, np.zeros(batch_n)).mean()
+                  + nn.binary_cross_entropy_with_logits(d_mismatch, np.zeros(batch_n)).mean())
+        step.apply(d_loss, "discriminator")
+
+        # --- Generator step: fool D + reconstruct optimal designs ---
+        noise = nn.Tensor(rng.normal(size=(batch_n, cfg.noise_dim)))
+        gen = model.generator(feats, noise)
+        d_gen = model.discriminator(feats, gen)
+        adv = nn.binary_cross_entropy_with_logits(d_gen, np.ones(batch_n)).mean()
+        recon = (gen - nn.Tensor(real)).abs().mean()
+        g_loss = adv + recon * cfg.recon_weight
+        step.apply(g_loss, "generator")
+
+        return {"g_loss": g_loss.item(), "d_loss": d_loss.item()}
+
+    def epoch_message(self, history) -> str:
+        return (f"G={history['g_loss'][-1]:.4f} "
+                f"D={history['d_loss'][-1]:.4f}")
+
+
+def train_gandse(model: GANDSE, dataset: DSEDataset, verbose: bool = False,
+                 callbacks=(), checkpoint_path=None, checkpoint_every: int = 1,
+                 resume: bool = True) -> dict:
     """Adversarial training; returns per-epoch generator/discriminator losses."""
-    cfg = model.config
-    rng = np.random.default_rng(cfg.seed)
-    model.train()
-
-    designs = model.normalise_labels(dataset)
-    data = nn.ArrayDataset(dataset.inputs, designs)
-    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
-
-    g_params = model.generator.parameters()
-    d_params = model.discriminator.parameters()
-    g_opt = nn.Adam(g_params, lr=cfg.lr_generator)
-    d_opt = nn.Adam(d_params, lr=cfg.lr_discriminator)
-
-    history = {"g_loss": [], "d_loss": []}
-    for epoch in range(cfg.epochs):
-        g_total = d_total = 0.0
-        batches = 0
-        for xb, real in loader:
-            feats = nn.Tensor(model.problem.featurize(xb))
-            batch = len(xb)
-
-            # --- Discriminator step -------------------------------------
-            # Positives: (features, optimal design).  Negatives: generator
-            # fakes AND matching-aware mismatches — optimal designs paired
-            # with the wrong workload (shuffled) — so D learns *conditioned*
-            # optimality rather than marginal design realism.
-            noise = nn.Tensor(rng.normal(size=(batch, cfg.noise_dim)))
-            fake = model.generator(feats, noise).detach()
-            mismatched = real[rng.permutation(batch)]
-            d_real = model.discriminator(feats, nn.Tensor(real))
-            d_fake = model.discriminator(feats, fake)
-            d_mismatch = model.discriminator(feats, nn.Tensor(mismatched))
-            d_loss = (nn.binary_cross_entropy_with_logits(d_real, np.ones(batch)).mean()
-                      + nn.binary_cross_entropy_with_logits(d_fake, np.zeros(batch)).mean()
-                      + nn.binary_cross_entropy_with_logits(d_mismatch, np.zeros(batch)).mean())
-            d_opt.zero_grad()
-            d_loss.backward()
-            nn.clip_grad_norm(d_params, cfg.grad_clip)
-            d_opt.step()
-
-            # --- Generator step: fool D + reconstruct optimal designs ---
-            noise = nn.Tensor(rng.normal(size=(batch, cfg.noise_dim)))
-            gen = model.generator(feats, noise)
-            d_gen = model.discriminator(feats, gen)
-            adv = nn.binary_cross_entropy_with_logits(d_gen, np.ones(batch)).mean()
-            recon = (gen - nn.Tensor(real)).abs().mean()
-            g_loss = adv + recon * cfg.recon_weight
-            g_opt.zero_grad()
-            g_loss.backward()
-            nn.clip_grad_norm(g_params, cfg.grad_clip)
-            g_opt.step()
-
-            g_total += g_loss.item()
-            d_total += d_loss.item()
-            batches += 1
-        history["g_loss"].append(g_total / max(batches, 1))
-        history["d_loss"].append(d_total / max(batches, 1))
-        if verbose:
-            print(f"[gandse] epoch {epoch + 1}/{cfg.epochs} "
-                  f"G={history['g_loss'][-1]:.4f} D={history['d_loss'][-1]:.4f}")
-    model.eval()
-    return history
+    loop = TrainLoop(_GANDSETask(model, dataset), callbacks=callbacks)
+    return loop.fit(verbose=verbose, checkpoint_path=checkpoint_path,
+                    checkpoint_every=checkpoint_every, resume=resume)

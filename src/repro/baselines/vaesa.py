@@ -28,6 +28,7 @@ import numpy as np
 from .. import nn
 from ..dse import DSEDataset, DSEProblem, ExhaustiveOracle
 from ..search.bo import BOConfig, BOResult, bayesian_optimization
+from ..train import OptimSpec, TrainLoop, TrainTask
 
 __all__ = ["VAESAConfig", "VAESA", "train_vaesa"]
 
@@ -120,60 +121,73 @@ class VAESA(nn.Module):
         return int(pe[0]), int(l2[0]), result
 
 
-def train_vaesa(model: VAESA, dataset: DSEDataset, verbose: bool = False) -> dict:
+class _VAESATask(TrainTask):
+    """VAE training: reconstruction + beta-KL + performance regression.
+
+    No lr schedule (the original loop ran Adam at a constant rate); the
+    reparameterisation noise is drawn from the loop's rng, interleaved
+    with the loader shuffling exactly as before.
+    """
+
+    name = "vaesa"
+    history_keys = ("loss", "recon", "kl", "perf")
+
+    def __init__(self, model: VAESA, dataset: DSEDataset):
+        self.model = model
+        self.dataset = dataset
+        self.epochs = model.config.epochs
+        self.seed = model.config.seed
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        cfg = self.model.config
+        space = self.model.problem.space
+        designs = np.stack(
+            [self.dataset.pe_idx / max(space.n_pe - 1, 1),
+             self.dataset.l2_idx / max(space.n_l2 - 1, 1)], axis=1)
+        perf, _, _ = self.dataset.perf_targets()
+        data = nn.ArrayDataset(self.dataset.inputs, designs, perf)
+        return nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        cfg = self.model.config
+        return {"main": OptimSpec(self.model.parameters(), cfg.lr,
+                                  grad_clip=cfg.grad_clip)}
+
+    def batch_step(self, batch, step, rng) -> dict[str, float]:
+        model = self.model
+        cfg = model.config
+        xb, db, pb = batch
+        feats = nn.Tensor(model.problem.featurize(xb))
+        target = nn.Tensor(db)
+
+        mu, logvar = model.encode(target)
+        eps = nn.Tensor(rng.normal(size=mu.shape))
+        z = mu + (logvar * 0.5).exp() * eps
+
+        recon = model.decode(z)
+        recon_loss = nn.mse_loss(recon, db)
+        kl = (-0.5 * (logvar + 1.0 - mu * mu - logvar.exp())).sum(axis=-1).mean()
+        perf_pred = model.predict_perf(z, feats)
+        perf_loss = nn.mse_loss(perf_pred, pb)
+
+        loss = recon_loss + kl * cfg.beta + perf_loss * cfg.perf_weight
+        step.apply(loss)
+        return {"loss": loss.item(), "recon": recon_loss.item(),
+                "kl": kl.item(), "perf": perf_loss.item()}
+
+    def epoch_message(self, history) -> str:
+        return f"loss={history['loss'][-1]:.4f}"
+
+
+def train_vaesa(model: VAESA, dataset: DSEDataset, verbose: bool = False,
+                callbacks=(), checkpoint_path=None, checkpoint_every: int = 1,
+                resume: bool = True) -> dict:
     """Train the VAE (reconstruction + beta-KL + performance regression).
 
     The dataset's *optimal* designs (plus their workload features for the
     performance head) define the latent manifold, mirroring VAESA's
     training on evaluated design points.
     """
-    cfg = model.config
-    rng = np.random.default_rng(cfg.seed)
-    model.train()
-
-    space = model.problem.space
-    designs = np.stack([dataset.pe_idx / max(space.n_pe - 1, 1),
-                        dataset.l2_idx / max(space.n_l2 - 1, 1)], axis=1)
-    perf, _, _ = dataset.perf_targets()
-    data = nn.ArrayDataset(dataset.inputs, designs, perf)
-    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
-
-    params = model.parameters()
-    optimizer = nn.Adam(params, lr=cfg.lr)
-
-    history = {"loss": [], "recon": [], "kl": [], "perf": []}
-    for epoch in range(cfg.epochs):
-        sums = {"loss": 0.0, "recon": 0.0, "kl": 0.0, "perf": 0.0}
-        batches = 0
-        for xb, db, pb in loader:
-            feats = nn.Tensor(model.problem.featurize(xb))
-            target = nn.Tensor(db)
-
-            mu, logvar = model.encode(target)
-            eps = nn.Tensor(rng.normal(size=mu.shape))
-            z = mu + (logvar * 0.5).exp() * eps
-
-            recon = model.decode(z)
-            recon_loss = nn.mse_loss(recon, db)
-            kl = (-0.5 * (logvar + 1.0 - mu * mu - logvar.exp())).sum(axis=-1).mean()
-            perf_pred = model.predict_perf(z, feats)
-            perf_loss = nn.mse_loss(perf_pred, pb)
-
-            loss = recon_loss + kl * cfg.beta + perf_loss * cfg.perf_weight
-            optimizer.zero_grad()
-            loss.backward()
-            nn.clip_grad_norm(params, cfg.grad_clip)
-            optimizer.step()
-
-            sums["loss"] += loss.item()
-            sums["recon"] += recon_loss.item()
-            sums["kl"] += kl.item()
-            sums["perf"] += perf_loss.item()
-            batches += 1
-        for key in history:
-            history[key].append(sums[key] / max(batches, 1))
-        if verbose:
-            print(f"[vaesa] epoch {epoch + 1}/{cfg.epochs} "
-                  f"loss={history['loss'][-1]:.4f}")
-    model.eval()
-    return history
+    loop = TrainLoop(_VAESATask(model, dataset), callbacks=callbacks)
+    return loop.fit(verbose=verbose, checkpoint_path=checkpoint_path,
+                    checkpoint_every=checkpoint_every, resume=resume)

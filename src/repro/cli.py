@@ -15,6 +15,11 @@ Examples::
     # HTTP serving with dynamic batching and a persistent oracle cache:
     python -m repro serve --port 8080 --max-batch-size 64 --max-wait-ms 2 \\
         --oracle-cache .repro_cache/oracle_cache.npz
+
+    # Unified training engine: parallel oracle labelling, resumable
+    # checkpoints (Ctrl-C mid-run, re-run the same command to resume):
+    python -m repro train --model v2 --scale small --workers 4
+    python -m repro train --smoke --json      # CI fast path
 """
 
 from __future__ import annotations
@@ -224,6 +229,112 @@ def predict_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def train_main(argv: list[str] | None = None) -> int:
+    """``repro train``: the unified training engine from the shell.
+
+    Generates (or loads) the labelled dataset — optionally sharding the
+    oracle labelling across worker processes — then trains the selected
+    model through :mod:`repro.train` with resumable checkpoints: interrupt
+    with Ctrl-C and re-run the same command to continue mid-run.
+    """
+    from .experiments.common import (get_datasets, get_gandse, get_problem,
+                                     get_v1, get_v2, get_vaesa)
+    from .experiments.harness import get_scale
+
+    parser = argparse.ArgumentParser(
+        prog="repro train",
+        description="Train AIRCHITECT v2 or a baseline with the unified "
+                    "training engine (parallel dataset labelling, "
+                    "checkpoint/resume).")
+    parser.add_argument("--model", default="v2",
+                        choices=["v2", "v1", "gandse", "vaesa"],
+                        help="which model to train (default v2)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for oracle dataset labelling "
+                             "(default 1 = serial; labels are bit-identical "
+                             "either way)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI path: tiny scale unless --scale is "
+                             "given explicitly")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON summary instead of text")
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES),
+                        help="training scale (default: $REPRO_SCALE or "
+                             "'small'; --smoke forces 'tiny')")
+    parser.add_argument("--cache", default=None,
+                        help="training-cache directory (default: "
+                             "$REPRO_CACHE or .repro_cache); datasets, "
+                             "checkpoints and the final model live here")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    scale = get_scale(args.scale if args.scale or not args.smoke else "tiny")
+    workspace = Workspace(args.cache)
+    problem = get_problem()
+
+    start = time.perf_counter()
+    train_set, test_set = get_datasets(scale, workspace, problem,
+                                       num_workers=args.workers)
+    dataset_elapsed = time.perf_counter() - start
+
+    getter = {"v2": get_v2, "v1": get_v1, "gandse": get_gandse,
+              "vaesa": get_vaesa}[args.model]
+    model_path = workspace.model_key(scale, {
+        "v2": "v2_uov_k16_c1p1", "v1": "v1_joint",
+        "gandse": "gandse", "vaesa": "vaesa"}[args.model])
+    cached = workspace.has(model_path)
+
+    start = time.perf_counter()
+    try:
+        model = getter(scale, train_set, workspace, problem)
+    except KeyboardInterrupt:
+        print("\ninterrupted: checkpoint saved; re-run the same command "
+              "to resume", file=sys.stderr)
+        return 130
+    train_elapsed = time.perf_counter() - start
+
+    from .core import AirchitectV2, evaluate_model, evaluate_predictions
+    if isinstance(model, AirchitectV2):
+        metrics = evaluate_model(model, test_set, compute_regret=False)
+    elif hasattr(model, "predict_indices"):
+        pe_idx, l2_idx = model.predict_indices(test_set.inputs)
+        metrics = evaluate_predictions(problem, test_set, pe_idx, l2_idx,
+                                       compute_regret=False)
+    else:
+        # VAESA has no one-shot inference: it searches its latent space
+        # per workload (see fig7/fig8a for its evaluation).
+        metrics = None
+
+    summary = {"model": args.model, "scale": scale.name,
+               "train_samples": len(train_set),
+               "test_samples": len(test_set),
+               "label_workers": args.workers,
+               "dataset_elapsed_s": dataset_elapsed,
+               "train_elapsed_s": train_elapsed,
+               "cached_model": cached,
+               "accuracy": metrics.accuracy if metrics else None,
+               "pe_accuracy": metrics.pe_accuracy if metrics else None,
+               "l2_accuracy": metrics.l2_accuracy if metrics else None}
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+    else:
+        state = "loaded cached model" if cached else "trained"
+        print(f"{args.model} @ {scale.name}: {state} in "
+              f"{train_elapsed:.1f}s (dataset {len(train_set)}+"
+              f"{len(test_set)} in {dataset_elapsed:.1f}s, "
+              f"{args.workers} label worker(s))")
+        if metrics is None:
+            print("one-shot accuracy n/a (VAESA infers via latent-space "
+                  "search; evaluate with 'repro fig7' / 'repro fig8a')")
+        else:
+            print(f"test accuracy {metrics.accuracy:.3f} "
+                  f"(pe {metrics.pe_accuracy:.3f}, "
+                  f"l2 {metrics.l2_accuracy:.3f})")
+    return 0
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """``repro serve``: the dynamic-batching HTTP serving front-end."""
     from .dse import ExhaustiveOracle
@@ -301,12 +412,15 @@ def main(argv: list[str] | None = None) -> int:
         return predict_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "train":
+        return train_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate AIRCHITECT v2 paper tables and figures "
                     "('repro predict --help' for the DSE serving mode, "
-                    "'repro serve --help' for the HTTP server).")
+                    "'repro serve --help' for the HTTP server, "
+                    "'repro train --help' for the training engine).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all"],
                         help="which artefact to regenerate")

@@ -173,6 +173,11 @@ class AirchitectV2(nn.Module):
         self.decoder = AirchitectDecoder(config, problem, rng)
         self.pe_codec = UOVCodec(problem.space.n_pe, config.num_buckets)
         self.l2_codec = UOVCodec(problem.space.n_l2, config.num_buckets)
+        # Stage-1 performance-normalisation statistics travel with the
+        # weights (buffers), so a loaded model can de-normalise performance
+        # predictions without retraining.
+        self.register_buffer("perf_mean", np.float64(0.0))
+        self.register_buffer("perf_std", np.float64(1.0))
 
     # ------------------------------------------------------------------
     def embed(self, inputs: np.ndarray) -> nn.Tensor:
@@ -228,6 +233,27 @@ class AirchitectV2(nn.Module):
                 sl = slice(start, start + len(chunk))
                 pe_out[sl], l2_out[sl] = self.decode_logits(pe_logits, l2_logits)
         return pe_out, l2_out
+
+    def predict_performance(self, inputs: np.ndarray, batch_size: int = 1024,
+                            denormalise: bool = True) -> np.ndarray:
+        """Performance-head predictions for raw input tuples.
+
+        With ``denormalise`` (the default) the z-scored log-metric output
+        is mapped back to metric units (e.g. latency cycles) using the
+        stage-1 statistics persisted in the ``perf_mean``/``perf_std``
+        buffers; pass ``denormalise=False`` for the raw normalised score.
+        """
+        self.eval()
+        inputs = np.atleast_2d(np.asarray(inputs))
+        out = np.empty(len(inputs), dtype=np.float64)
+        with nn.no_grad():
+            for start in range(0, len(inputs), batch_size):
+                chunk = inputs[start:start + batch_size]
+                pred = self.perf_head(self.embed(chunk)).numpy()
+                out[start:start + len(chunk)] = pred
+        if denormalise:
+            out = np.exp(out * float(self.perf_std) + float(self.perf_mean))
+        return out
 
     def head_parameter_count(self) -> int:
         """Parameters in the output heads only (Fig. 9's model-size axis)."""

@@ -14,16 +14,23 @@ The encoder (plus the performance head) is trained with::
 The Table-II ablation axes are exposed directly: disabling both terms
 falls back to a plain L2 performance-regression objective, matching the
 paper's "(and using only an L2-loss term)" baseline row.
+
+The epoch/batch driving lives in the unified :class:`repro.train.TrainLoop`
+runtime; this module only describes the stage-1 batch step.  The z-scoring
+statistics of the performance target are persisted as model buffers
+(``perf_mean``/``perf_std``), so a loaded model can de-normalise
+performance predictions without retraining.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from .. import nn
 from ..dse import DSEDataset
+from ..train import OptimSpec, TrainLoop, TrainTask
 from .model import AirchitectV2
 
 __all__ = ["Stage1Config", "Stage1Trainer", "contrastive_labels"]
@@ -50,6 +57,70 @@ def contrastive_labels(model: AirchitectV2, dataset: DSEDataset) -> np.ndarray:
     return pe_buckets * model.l2_codec.num_buckets + l2_buckets
 
 
+class _Stage1Task(TrainTask):
+    """Contrastive + performance shaping of encoder and perf head."""
+
+    name = "stage1"
+    history_keys = ("loss", "contrastive", "perf")
+
+    def __init__(self, trainer: "Stage1Trainer", dataset: DSEDataset):
+        self.trainer = trainer
+        self.model = trainer.model
+        self.dataset = dataset
+        config = trainer.config
+        self.epochs = config.epochs
+        self.seed = config.seed
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        cfg = self.trainer.config
+        labels = contrastive_labels(self.model, self.dataset)
+        perf, mean, std = self.dataset.perf_targets()
+        self.model.perf_mean = mean    # buffers: persist with the weights
+        self.model.perf_std = std
+        data = nn.ArrayDataset(self.dataset.inputs, labels, perf)
+        return nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng,
+                             drop_last=len(data) > cfg.batch_size)
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        cfg = self.trainer.config
+        params = self.model.encoder.parameters() \
+            + self.model.perf_head.parameters()
+        return {"main": OptimSpec(params, cfg.lr,
+                                  schedule=nn.cosine_schedule(cfg.epochs),
+                                  grad_clip=cfg.grad_clip)}
+
+    def batch_step(self, batch, step, rng) -> dict[str, float]:
+        cfg = self.trainer.config
+        xb, yb, pb = batch
+        embedding = self.model.embed(xb)
+        pred_perf = self.model.perf_head(embedding)
+
+        terms = []
+        lc_val = lp_val = 0.0
+        if cfg.use_contrastive:
+            lc = self.trainer.contrastive(embedding, yb)
+            terms.append(lc)
+            lc_val = lc.item()
+        if cfg.use_perf:
+            lp = nn.l1_loss(pred_perf, pb)
+            terms.append(lp)
+            lp_val = lp.item()
+        if not terms:
+            # Ablation baseline: plain L2 performance regression.
+            lp = nn.mse_loss(pred_perf, pb)
+            terms.append(lp)
+            lp_val = lp.item()
+
+        loss = terms[0]
+        for term in terms[1:]:
+            loss = loss + term
+        step.apply(loss)
+        return {"loss": loss.item(), "contrastive": lc_val, "perf": lp_val}
+
+    def epoch_message(self, history) -> str:
+        return f"loss={history['loss'][-1]:.4f}"
+
+
 class Stage1Trainer:
     """Trains encoder + performance head; the decoder is untouched."""
 
@@ -57,68 +128,35 @@ class Stage1Trainer:
         self.model = model
         self.config = config or Stage1Config()
         self.contrastive = nn.InfoNCELoss(self.config.temperature)
-        self.perf_mean: float = 0.0
-        self.perf_std: float = 1.0
 
-    def train(self, dataset: DSEDataset, verbose: bool = False) -> dict:
-        """Run stage-1 training; returns a history dict of per-epoch losses."""
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        model = self.model
-        model.train()
+    # The normalisation statistics live on the model (buffers), so they
+    # persist with the weights; these properties are the historical
+    # trainer-side view of the same values.
+    @property
+    def perf_mean(self) -> float:
+        return float(self.model.perf_mean)
 
-        labels = contrastive_labels(model, dataset)
-        perf, self.perf_mean, self.perf_std = dataset.perf_targets()
-        data = nn.ArrayDataset(dataset.inputs, labels, perf)
-        loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng,
-                               drop_last=len(data) > cfg.batch_size)
+    @perf_mean.setter
+    def perf_mean(self, value: float) -> None:
+        self.model.perf_mean = value
 
-        params = model.encoder.parameters() + model.perf_head.parameters()
-        optimizer = nn.Adam(params, lr=cfg.lr)
-        scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+    @property
+    def perf_std(self) -> float:
+        return float(self.model.perf_std)
 
-        history = {"loss": [], "contrastive": [], "perf": []}
-        for epoch in range(cfg.epochs):
-            sums = {"loss": 0.0, "contrastive": 0.0, "perf": 0.0}
-            batches = 0
-            for xb, yb, pb in loader:
-                embedding = model.embed(xb)
-                pred_perf = model.perf_head(embedding)
+    @perf_std.setter
+    def perf_std(self, value: float) -> None:
+        self.model.perf_std = value
 
-                terms = []
-                lc_val = lp_val = 0.0
-                if cfg.use_contrastive:
-                    lc = self.contrastive(embedding, yb)
-                    terms.append(lc)
-                    lc_val = lc.item()
-                if cfg.use_perf:
-                    lp = nn.l1_loss(pred_perf, pb)
-                    terms.append(lp)
-                    lp_val = lp.item()
-                if not terms:
-                    # Ablation baseline: plain L2 performance regression.
-                    lp = nn.mse_loss(pred_perf, pb)
-                    terms.append(lp)
-                    lp_val = lp.item()
+    def train(self, dataset: DSEDataset, verbose: bool = False,
+              callbacks=(), checkpoint_path=None, checkpoint_every: int = 1,
+              resume: bool = True) -> dict:
+        """Run stage-1 training; returns a history dict of per-epoch losses.
 
-                loss = terms[0]
-                for term in terms[1:]:
-                    loss = loss + term
-
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(params, cfg.grad_clip)
-                optimizer.step()
-
-                sums["loss"] += loss.item()
-                sums["contrastive"] += lc_val
-                sums["perf"] += lp_val
-                batches += 1
-            scheduler.step()
-            for key in history:
-                history[key].append(sums[key] / max(batches, 1))
-            if verbose:
-                print(f"[stage1] epoch {epoch + 1}/{cfg.epochs} "
-                      f"loss={history['loss'][-1]:.4f}")
-        model.eval()
-        return history
+        ``checkpoint_path`` enables resumable training: a snapshot is
+        written every ``checkpoint_every`` epochs, and an existing snapshot
+        (same config/seed) is continued instead of restarting.
+        """
+        loop = TrainLoop(_Stage1Task(self, dataset), callbacks=callbacks)
+        return loop.fit(verbose=verbose, checkpoint_path=checkpoint_path,
+                        checkpoint_every=checkpoint_every, resume=resume)

@@ -8,6 +8,9 @@ configurations.  The loss depends on the head style:
 * ``classification`` — cross-entropy per head, summed.
 * ``joint``          — one cross-entropy over the 768-way label.
 * ``regression``     — MSE against the normalised choice index.
+
+Epoch/batch driving is the unified :class:`repro.train.TrainLoop`; the
+freeze/unfreeze protocol lives in the task's fit hooks.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import numpy as np
 
 from .. import nn
 from ..dse import DSEDataset
+from ..train import OptimSpec, TrainLoop, TrainTask
 from .model import AirchitectV2
 
 __all__ = ["Stage2Config", "Stage2Trainer"]
@@ -34,6 +38,49 @@ class Stage2Config:
     gamma: float = 1.0
     grad_clip: float = 5.0
     seed: int = 1
+
+
+class _Stage2Task(TrainTask):
+    """Decoder training over frozen encoder embeddings."""
+
+    name = "stage2"
+    history_keys = ("loss",)
+
+    def __init__(self, trainer: "Stage2Trainer", dataset: DSEDataset):
+        self.trainer = trainer
+        self.model = trainer.model
+        self.dataset = dataset
+        config = trainer.config
+        self.epochs = config.epochs
+        self.seed = config.seed
+
+    def on_fit_begin(self) -> None:
+        self.model.encoder.requires_grad_(False)   # the paper's frozen encoder
+        self.model.perf_head.requires_grad_(False)
+
+    def on_fit_end(self) -> None:
+        self.model.encoder.requires_grad_(True)
+        self.model.perf_head.requires_grad_(True)
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        cfg = self.trainer.config
+        pe_t, l2_t = self.trainer._targets(self.dataset)
+        data = nn.ArrayDataset(self.dataset.inputs, pe_t, l2_t)
+        return nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        cfg = self.trainer.config
+        return {"main": OptimSpec(self.model.decoder.parameters(), cfg.lr,
+                                  schedule=nn.cosine_schedule(cfg.epochs),
+                                  grad_clip=cfg.grad_clip)}
+
+    def batch_step(self, batch, step, rng) -> dict[str, float]:
+        xb, pb, lb = batch
+        embedding = self.model.embed(xb)
+        pe_logits, l2_logits = self.model.decoder(embedding.detach())
+        loss = self.trainer._loss(pe_logits, l2_logits, pb, lb)
+        step.apply(loss)
+        return {"loss": loss.item()}
 
 
 class Stage2Trainer:
@@ -76,45 +123,10 @@ class Stage2Trainer:
         return nn.mse_loss(pe_pred, pe_target) + nn.mse_loss(l2_pred, l2_target)
 
     # ------------------------------------------------------------------
-    def train(self, dataset: DSEDataset, verbose: bool = False) -> dict:
+    def train(self, dataset: DSEDataset, verbose: bool = False,
+              callbacks=(), checkpoint_path=None, checkpoint_every: int = 1,
+              resume: bool = True) -> dict:
         """Run stage-2 training; returns a history dict of per-epoch losses."""
-        cfg = self.config
-        model = self.model
-        rng = np.random.default_rng(cfg.seed)
-
-        model.train()
-        model.encoder.requires_grad_(False)   # the paper's frozen encoder
-        model.perf_head.requires_grad_(False)
-
-        pe_t, l2_t = self._targets(dataset)
-        data = nn.ArrayDataset(dataset.inputs, pe_t, l2_t)
-        loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
-
-        params = model.decoder.parameters()
-        optimizer = nn.Adam(params, lr=cfg.lr)
-        scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
-
-        history = {"loss": []}
-        for epoch in range(cfg.epochs):
-            total, batches = 0.0, 0
-            for xb, pb, lb in loader:
-                embedding = model.embed(xb)
-                pe_logits, l2_logits = model.decoder(embedding.detach())
-                loss = self._loss(pe_logits, l2_logits, pb, lb)
-
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(params, cfg.grad_clip)
-                optimizer.step()
-                total += loss.item()
-                batches += 1
-            scheduler.step()
-            history["loss"].append(total / max(batches, 1))
-            if verbose:
-                print(f"[stage2] epoch {epoch + 1}/{cfg.epochs} "
-                      f"loss={history['loss'][-1]:.4f}")
-
-        model.encoder.requires_grad_(True)
-        model.perf_head.requires_grad_(True)
-        model.eval()
-        return history
+        loop = TrainLoop(_Stage2Task(self, dataset), callbacks=callbacks)
+        return loop.fit(verbose=verbose, checkpoint_path=checkpoint_path,
+                        checkpoint_every=checkpoint_every, resume=resume)

@@ -5,12 +5,14 @@ exhaustive labelling oracle, and dataset generation utilities.
 """
 
 from .dataset import DSEDataset, generate_random_dataset, generate_workload_dataset
+from .labelling import ShardedLabeller, label_inputs
 from .oracle import ExhaustiveOracle, OracleCacheInfo, OracleResult
 from .problem import DSEProblem, FeatureBounds
 from .space import DesignSpace, default_space
 
 __all__ = [
     "DSEDataset", "generate_random_dataset", "generate_workload_dataset",
+    "ShardedLabeller", "label_inputs",
     "ExhaustiveOracle", "OracleCacheInfo", "OracleResult",
     "DSEProblem", "FeatureBounds",
     "DesignSpace", "default_space",

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .labelling import label_inputs
 from .oracle import ExhaustiveOracle
 from .problem import DSEProblem
 
@@ -74,9 +75,20 @@ class DSEDataset:
 
     def split(self, test_fraction: float,
               rng: np.random.Generator) -> tuple["DSEDataset", "DSEDataset"]:
-        """Random (train, test) split (the paper uses 80K/20K)."""
+        """Random (train, test) split (the paper uses 80K/20K).
+
+        ``test_fraction`` must lie strictly in (0, 1), and the dataset
+        must be large enough that both splits are non-empty.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), "
+                             f"got {test_fraction}")
+        if len(self) < 2:
+            raise ValueError(f"cannot split a {len(self)}-sample dataset "
+                             f"into non-empty train and test sets")
         order = rng.permutation(len(self))
         n_test = max(1, int(round(len(self) * test_fraction)))
+        n_test = min(n_test, len(self) - 1)   # keep the train split non-empty
         return self.subset(order[n_test:]), self.subset(order[:n_test])
 
     # ------------------------------------------------------------------
@@ -98,11 +110,16 @@ class DSEDataset:
 
 def generate_random_dataset(problem: DSEProblem, count: int,
                             rng: np.random.Generator,
-                            oracle: ExhaustiveOracle | None = None) -> DSEDataset:
-    """Dataset over randomised Table-I inputs, labelled by the exact oracle."""
+                            oracle: ExhaustiveOracle | None = None,
+                            num_workers: int = 1) -> DSEDataset:
+    """Dataset over randomised Table-I inputs, labelled by the exact oracle.
+
+    ``num_workers > 1`` shards the oracle labelling across processes
+    (bit-identical labels, see :mod:`repro.dse.labelling`).
+    """
     oracle = oracle or ExhaustiveOracle(problem)
     inputs = problem.sample_inputs(count, rng)
-    result = oracle.solve(inputs)
+    result = label_inputs(oracle, inputs, num_workers)
     return DSEDataset(inputs=inputs, pe_idx=result.pe_idx,
                       l2_idx=result.l2_idx, best_cost=result.best_cost)
 
@@ -111,7 +128,8 @@ def generate_workload_dataset(problem: DSEProblem, layers: np.ndarray,
                               rng: np.random.Generator,
                               target_count: int | None = None,
                               oracle: ExhaustiveOracle | None = None,
-                              jitter: float = 0.15) -> DSEDataset:
+                              jitter: float = 0.15,
+                              num_workers: int = 1) -> DSEDataset:
     """Dataset from real DNN layers (the 105-workload zoo).
 
     Parameters
@@ -125,6 +143,9 @@ def generate_workload_dataset(problem: DSEProblem, layers: np.ndarray,
         random layers with log-normal jitter (std ``jitter``) — emulating
         the density of the paper's 100K-sample dataset while staying on the
         manifold of realistic layer shapes.
+    num_workers:
+        ``> 1`` shards the oracle labelling across processes
+        (bit-identical labels, see :mod:`repro.dse.labelling`).
     """
     oracle = oracle or ExhaustiveOracle(problem)
     layers = np.atleast_2d(np.asarray(layers, dtype=np.int64))
@@ -148,6 +169,6 @@ def generate_workload_dataset(problem: DSEProblem, layers: np.ndarray,
         aug = np.stack([md, nd, kd, dfs], axis=1)
         inputs = np.concatenate([inputs, aug], axis=0)
 
-    result = oracle.solve(inputs)
+    result = label_inputs(oracle, inputs, num_workers)
     return DSEDataset(inputs=inputs, pe_idx=result.pe_idx,
                       l2_idx=result.l2_idx, best_cost=result.best_cost)

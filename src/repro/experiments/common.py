@@ -3,6 +3,12 @@
 All table/figure runners pull their data and models from here, so a suite
 of benchmarks trains each model once.  Caching is on-disk (see
 :class:`repro.experiments.harness.Workspace`) keyed by scale name + seed.
+
+Training runs through the unified :mod:`repro.train` engine: every model
+getter checkpoints into the workspace while fitting, so an interrupted
+experiment resumes mid-run instead of retraining from scratch (checkpoints
+are deleted once the final model is cached).  Dataset generation accepts
+``num_workers`` to shard oracle labelling across processes.
 """
 
 from __future__ import annotations
@@ -29,9 +35,13 @@ def get_problem() -> DSEProblem:
 
 
 def get_datasets(scale, workspace: Workspace | None = None,
-                 problem: DSEProblem | None = None
-                 ) -> tuple[DSEDataset, DSEDataset]:
-    """(train, test) datasets from the 105-workload zoo, cached on disk."""
+                 problem: DSEProblem | None = None,
+                 num_workers: int = 1) -> tuple[DSEDataset, DSEDataset]:
+    """(train, test) datasets from the 105-workload zoo, cached on disk.
+
+    ``num_workers > 1`` shards the oracle labelling across processes
+    (bit-identical labels, so the cache key does not depend on it).
+    """
     scale = get_scale(scale)
     workspace = workspace or Workspace()
     problem = problem or get_problem()
@@ -44,7 +54,8 @@ def get_datasets(scale, workspace: Workspace | None = None,
     rng = np.random.default_rng(scale.seed)
     total = scale.train_samples + scale.test_samples
     dataset = generate_workload_dataset(problem, all_training_layers(), rng,
-                                        target_count=total)
+                                        target_count=total,
+                                        num_workers=num_workers)
     train, test = dataset.split(scale.test_samples / len(dataset), rng)
     train.save(train_path)
     test.save(test_path)
@@ -64,16 +75,25 @@ def stage_configs(scale, use_contrastive: bool = True,
 
 def _cached_model(workspace: Workspace, scale: ExperimentScale, tag: str,
                   build, train):
-    """Generic build-or-load: ``build()`` makes the module, ``train(model)``
-    fits it (only when no cache exists)."""
+    """Generic build-or-load: ``build()`` makes the module,
+    ``train(model, checkpoint)`` fits it (only when no cache exists).
+
+    ``checkpoint`` is a workspace path stem the trainer may checkpoint
+    into (``<stem>_<stage>.npz``); an interrupted fit resumes from it on
+    the next call, and all ``<stem>*`` files are removed once the final
+    model is cached.
+    """
     path = workspace.model_key(scale, tag)
     model = build()
     if workspace.has(path):
         load_module(model, path)
         model.eval()
         return model
-    train(model)
+    checkpoint = workspace.checkpoint_key(scale, tag)
+    train(model, checkpoint)
     save_module(model, path)
+    for stale in checkpoint.parent.glob(checkpoint.name + "*"):
+        stale.unlink()
     return model
 
 
@@ -94,10 +114,12 @@ def get_v2(scale, train_set: DSEDataset, workspace: Workspace | None = None,
                                     num_buckets=num_buckets)
         return AirchitectV2(config, problem, rng)
 
-    def fit(model: AirchitectV2) -> None:
+    def fit(model: AirchitectV2, checkpoint) -> None:
         s1, s2 = stage_configs(scale, use_contrastive, use_perf)
-        Stage1Trainer(model, s1).train(train_set)
-        Stage2Trainer(model, s2).train(train_set)
+        Stage1Trainer(model, s1).train(
+            train_set, checkpoint_path=f"{checkpoint}_stage1.npz")
+        Stage2Trainer(model, s2).train(
+            train_set, checkpoint_path=f"{checkpoint}_stage2.npz")
 
     return _cached_model(workspace, scale, tag, build, fit)
 
@@ -116,8 +138,10 @@ def get_v1(scale, train_set: DSEDataset, workspace: Workspace | None = None,
                           seed=scale.seed)
         return AirchitectV1(config, problem, rng)
 
-    return _cached_model(workspace, scale, f"v1_{head_style}", build,
-                         lambda model: train_v1(model, train_set))
+    return _cached_model(
+        workspace, scale, f"v1_{head_style}", build,
+        lambda model, ckpt: train_v1(model, train_set,
+                                     checkpoint_path=f"{ckpt}.npz"))
 
 
 def get_gandse(scale, train_set: DSEDataset,
@@ -133,8 +157,10 @@ def get_gandse(scale, train_set: DSEDataset,
         config = GANDSEConfig(epochs=scale.baseline_epochs, seed=scale.seed)
         return GANDSE(config, problem, rng)
 
-    return _cached_model(workspace, scale, "gandse", build,
-                         lambda model: train_gandse(model, train_set))
+    return _cached_model(
+        workspace, scale, "gandse", build,
+        lambda model, ckpt: train_gandse(model, train_set,
+                                         checkpoint_path=f"{ckpt}.npz"))
 
 
 def get_vaesa(scale, train_set: DSEDataset,
@@ -150,5 +176,7 @@ def get_vaesa(scale, train_set: DSEDataset,
         config = VAESAConfig(epochs=scale.baseline_epochs, seed=scale.seed)
         return VAESA(config, problem, rng)
 
-    return _cached_model(workspace, scale, "vaesa", build,
-                         lambda model: train_vaesa(model, train_set))
+    return _cached_model(
+        workspace, scale, "vaesa", build,
+        lambda model, ckpt: train_vaesa(model, train_set,
+                                        checkpoint_path=f"{ckpt}.npz"))

@@ -119,6 +119,14 @@ class Workspace:
     def model_key(self, scale: ExperimentScale, tag: str) -> Path:
         return self.path(f"{scale.name}_s{scale.seed}", f"model_{tag}.npz")
 
+    def checkpoint_key(self, scale: ExperimentScale, tag: str) -> Path:
+        """Path *stem* for in-flight training checkpoints of a model.
+
+        Trainers append a stage suffix and ``.npz``; the whole family is
+        deleted once the final model is cached.
+        """
+        return self.path(f"{scale.name}_s{scale.seed}", f"ckpt_{tag}")
+
     def has(self, path: Path) -> bool:
         return path.exists()
 

@@ -5,6 +5,13 @@ A :class:`Module` owns :class:`Parameter` leaves and child modules, exposes
 ``load_state_dict`` for persistence, and train/eval mode switching (used by
 dropout).  Parameter freezing (``requires_grad_(False)``) implements the
 paper's stage-2 protocol of training the decoder with a frozen encoder.
+
+Non-trainable state that must travel with the weights — e.g. the stage-1
+performance-normalisation statistics — is held in *buffers*
+(:meth:`Module.register_buffer`): plain numpy arrays included in
+``state_dict`` but invisible to optimisers.  Loading a snapshot written
+before a buffer existed keeps the buffer's current value (missing buffer
+keys are tolerated; missing parameters stay a hard error).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ class Module:
     def __init__(self):
         self._parameters: dict[str, Parameter] = {}
         self._modules: dict[str, "Module"] = {}
+        self._buffers: dict[str, np.ndarray] = {}
         self.training = True
 
     # ------------------------------------------------------------------
@@ -41,7 +49,22 @@ class Module:
             self.__dict__.setdefault("_parameters", {})[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", {})[name] = value
+        elif name in self.__dict__.get("_buffers", {}):
+            value = np.asarray(value,
+                               dtype=self.__dict__["_buffers"][name].dtype)
+            self.__dict__["_buffers"][name] = value
         object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value) -> np.ndarray:
+        """Attach non-trainable state that persists via ``state_dict``.
+
+        The buffer is readable as a plain attribute; assigning to the
+        attribute updates the buffer (coerced to the registered dtype).
+        """
+        arr = np.asarray(value)
+        self.__dict__.setdefault("_buffers", {})[name] = arr
+        object.__setattr__(self, name, arr)
+        return arr
 
     # ------------------------------------------------------------------
     # Introspection
@@ -56,6 +79,17 @@ class Module:
     def parameters(self) -> list[Parameter]:
         """Return all parameters as a flat list."""
         return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs, depth-first."""
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def buffers(self) -> list[np.ndarray]:
+        """Return all buffers as a flat list."""
+        return [b for _, b in self.named_buffers()]
 
     def num_parameters(self, trainable_only: bool = False) -> int:
         """Total scalar parameter count (the paper's 'model size' metric)."""
@@ -93,14 +127,32 @@ class Module:
     # Persistence
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
-        """Copy of every parameter array keyed by dotted name."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Copy of every parameter and buffer array keyed by dotted name."""
+        state = {name: param.data.copy()
+                 for name, param in self.named_parameters()}
+        state.update({name: np.array(buf, copy=True)
+                      for name, buf in self.named_buffers()})
+        return state
+
+    def _buffer_owner(self, dotted: str) -> tuple["Module", str]:
+        """Resolve a dotted buffer name to its owning module and leaf name."""
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        return module, parts[-1]
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load arrays produced by :meth:`state_dict` (strict key/shape match)."""
+        """Load arrays produced by :meth:`state_dict`.
+
+        Parameters are matched strictly (keys and shapes); buffers missing
+        from ``state`` keep their current value, so snapshots written before
+        a buffer existed still load.
+        """
         own = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
         missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        unexpected = set(state) - set(own) - set(own_buffers)
         if missing or unexpected:
             raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
@@ -110,6 +162,15 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{value.shape} vs {param.data.shape}")
             param.data = value.astype(param.data.dtype, copy=True)
+        for name, current in own_buffers.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != current.shape:
+                raise ValueError(f"shape mismatch for buffer {name}: "
+                                 f"{value.shape} vs {current.shape}")
+            module, leaf = self._buffer_owner(name)
+            setattr(module, leaf, value)
 
     # ------------------------------------------------------------------
     # Call protocol

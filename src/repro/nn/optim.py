@@ -48,6 +48,33 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Persistence (the contract behind resumable training checkpoints:
+    # array lists map onto ``self.parameters`` order, scalars are ints).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Internal optimiser state (moments, step counts); empty by default."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no state, "
+                             f"got keys {sorted(state)}")
+
+    def _check_arrays(self, arrays: list, what: str) -> list[np.ndarray]:
+        if len(arrays) != len(self.parameters):
+            raise ValueError(f"{what} count {len(arrays)} does not match "
+                             f"{len(self.parameters)} parameters")
+        out = []
+        for arr, p in zip(arrays, self.parameters):
+            arr = np.asarray(arr)
+            if arr.shape != p.data.shape:
+                raise ValueError(f"{what} shape {arr.shape} does not match "
+                                 f"parameter shape {p.data.shape}")
+            out.append(arr.astype(np.float64, copy=True))
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -71,6 +98,12 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = self._check_arrays(state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -104,6 +137,16 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"step": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["step"])
+        self._m = self._check_arrays(state["m"], "first moment")
+        self._v = self._check_arrays(state["v"], "second moment")
 
 
 class AdamW(Adam):

@@ -1,0 +1,136 @@
+"""Callbacks for the unified :class:`~repro.train.TrainLoop`.
+
+Three stock callbacks cover the runtime's side channels:
+
+* :class:`Checkpointer` — periodic resumable snapshots (the loop attaches
+  one automatically when ``fit(checkpoint_path=...)`` is given);
+* :class:`EarlyStopping` — stop when a monitored history key stops
+  improving;
+* :class:`ThroughputMonitor` — per-epoch samples/sec accounting for
+  benchmarks and the ``repro train`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .checkpoint import save_checkpoint
+
+__all__ = ["Callback", "Checkpointer", "EarlyStopping", "ThroughputMonitor"]
+
+
+class Callback:
+    """Hooks into the loop's lifecycle; all methods are optional.
+
+    Stateful callbacks (e.g. :class:`EarlyStopping`) implement
+    ``state_dict``/``load_state_dict`` so their decisions survive a
+    checkpoint/resume cycle; the loop saves and restores callback state
+    automatically (matched by class name).
+    """
+
+    def on_fit_begin(self, loop) -> None:
+        """After setup (and any resume), before the first epoch."""
+
+    def on_epoch_end(self, loop) -> None:
+        """After each epoch's history entry (and scheduler step)."""
+
+    def on_fit_end(self, loop) -> None:
+        """After the final epoch and ``model.eval()``."""
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable state to carry through checkpoints."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` on resume."""
+
+
+class Checkpointer(Callback):
+    """Write a resumable snapshot every ``every`` epochs (and on the last)."""
+
+    def __init__(self, path, every: int = 1):
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.path = path
+        self.every = every
+        self.saves = 0
+
+    def on_epoch_end(self, loop) -> None:
+        done = loop.epoch + 1
+        if done % self.every == 0 or done == loop.task.epochs:
+            save_checkpoint(self.path, loop)
+            self.saves += 1
+
+
+class EarlyStopping(Callback):
+    """Request a stop after ``patience`` epochs without improvement.
+
+    ``monitor`` names a history key (lower is better); an epoch counts as
+    an improvement when it beats the best seen by more than ``min_delta``.
+    The best/patience counters are checkpointed, so a resumed run makes
+    the same stopping decision as an uninterrupted one — including
+    stopping immediately when resuming a run that already early-stopped.
+    """
+
+    def __init__(self, monitor: str = "loss", patience: int = 5,
+                 min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = math.inf
+        self.wait = 0
+        self.stopped_epoch: int | None = None
+
+    def on_fit_begin(self, loop) -> None:
+        if self.stopped_epoch is not None:     # restored from a stopped run
+            loop.should_stop = True
+
+    def on_epoch_end(self, loop) -> None:
+        value = loop.history[self.monitor][-1]
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            self.stopped_epoch = loop.epoch
+            loop.should_stop = True
+
+    def state_dict(self) -> dict:
+        return {"best": self.best, "wait": self.wait,
+                "stopped_epoch": self.stopped_epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = float(state["best"])
+        self.wait = int(state["wait"])
+        stopped = state["stopped_epoch"]
+        self.stopped_epoch = None if stopped is None else int(stopped)
+
+
+class ThroughputMonitor(Callback):
+    """Collect per-epoch wall-clock and samples/sec statistics."""
+
+    def __init__(self):
+        self.epochs: list[dict] = []
+
+    def on_epoch_end(self, loop) -> None:
+        seconds = loop.last_epoch_seconds
+        self.epochs.append({
+            "epoch": loop.epoch,
+            "seconds": seconds,
+            "samples": loop.last_epoch_samples,
+            "samples_per_sec": loop.last_epoch_samples / max(seconds, 1e-12),
+        })
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e["seconds"] for e in self.epochs)
+
+    @property
+    def mean_samples_per_sec(self) -> float:
+        if not self.epochs:
+            return 0.0
+        samples = sum(e["samples"] for e in self.epochs)
+        return samples / max(self.total_seconds, 1e-12)

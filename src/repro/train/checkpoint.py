@@ -1,0 +1,145 @@
+"""Resumable training checkpoints: one ``.npz`` per run, written atomically.
+
+A checkpoint captures everything a :class:`~repro.train.TrainLoop` needs to
+continue bit-identically to an uninterrupted run:
+
+* model parameters *and buffers* (``model.<dotted name>`` arrays),
+* per-optimiser Adam/SGD moments (``opt.<slot>.<key>.<i>`` arrays) plus
+  step counts and the current learning rate,
+* the data/noise RNG state (so epoch E+1 shuffles and draws exactly what
+  it would have),
+* per-epoch history so far, the next epoch index, task extra state, and
+  stateful-callback snapshots (e.g. EarlyStopping's patience counters),
+
+alongside a fingerprint of the task (name, seed, epochs, history keys,
+optimiser slots) so a checkpoint can never silently resume a *different*
+training run.  Files are written to a temp path and ``os.replace``-d into
+place, so an interrupt mid-save leaves the previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_exists",
+           "CheckpointMismatchError"]
+
+_META_KEY = "__checkpoint__"
+FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint on disk belongs to a different training run."""
+
+
+def _normalise(path) -> str:
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def checkpoint_exists(path) -> bool:
+    return os.path.exists(_normalise(path))
+
+
+def _task_fingerprint(loop) -> dict:
+    task = loop.task
+    return {"task": task.name, "seed": int(task.seed),
+            "epochs": int(task.epochs),
+            "history_keys": list(task.history_keys),
+            "optimizer_names": sorted(loop.optimizers)}
+
+
+def save_checkpoint(path, loop) -> str:
+    """Snapshot the loop after ``loop.epoch``; returns the path written."""
+    task = loop.task
+    arrays = {f"model.{name}": value
+              for name, value in task.model.state_dict().items()}
+    opt_meta: dict[str, dict] = {}
+    for name, opt in loop.optimizers.items():
+        slot = opt_meta.setdefault(name, {"lr": float(opt.lr)})
+        for key, value in opt.state_dict().items():
+            if isinstance(value, list):
+                for i, arr in enumerate(value):
+                    arrays[f"opt.{name}.{key}.{i}"] = arr
+            else:
+                slot[key] = value
+    meta = {
+        "format": FORMAT_VERSION,
+        "fingerprint": _task_fingerprint(loop),
+        "epoch_next": loop.epoch + 1,
+        "history": loop.history,
+        "rng_state": loop.rng.bit_generator.state,
+        "optimizers": opt_meta,
+        "schedulers": {name: sched.epoch
+                       for name, sched in loop.schedulers.items()},
+        "task_state": task.extra_state(),
+        "callbacks": [{"class": type(cb).__name__, "state": cb.state_dict()}
+                      for cb in loop.active_callbacks],
+    }
+    path = _normalise(path)
+    tmp = path + ".tmp.npz"
+    np.savez(tmp, **arrays, **{_META_KEY: np.array(json.dumps(meta))})
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path, loop) -> None:
+    """Restore a snapshot into ``loop`` (model, optimisers, rng, history)."""
+    path = _normalise(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise CheckpointMismatchError(f"{path} is not a training "
+                                          f"checkpoint (no metadata)")
+        meta = json.loads(str(archive[_META_KEY][()]))
+        if meta.get("format") != FORMAT_VERSION:
+            raise CheckpointMismatchError(
+                f"{path}: unsupported checkpoint format {meta.get('format')}")
+        expected = _task_fingerprint(loop)
+        if meta["fingerprint"] != expected:
+            raise CheckpointMismatchError(
+                f"{path} belongs to a different run: "
+                f"{meta['fingerprint']} != {expected}")
+
+        model_state = {name[len("model."):]: archive[name]
+                       for name in archive.files if name.startswith("model.")}
+        loop.task.model.load_state_dict(model_state)
+
+        for name, opt in loop.optimizers.items():
+            slot = dict(meta["optimizers"][name])
+            opt.lr = float(slot.pop("lr"))
+            prefix = f"opt.{name}."
+            lists: dict[str, dict[int, np.ndarray]] = {}
+            for key in archive.files:
+                if not key.startswith(prefix):
+                    continue
+                stem, idx = key[len(prefix):].rsplit(".", 1)
+                lists.setdefault(stem, {})[int(idx)] = archive[key]
+            for stem, items in lists.items():
+                slot[stem] = [items[i] for i in range(len(items))]
+            opt.load_state_dict(slot)
+        for name, sched in loop.schedulers.items():
+            sched.epoch = int(meta["schedulers"].get(name, 0))
+
+        loop.rng.bit_generator.state = meta["rng_state"]
+        loop.history = {key: list(values)
+                        for key, values in meta["history"].items()}
+        loop.start_epoch = int(meta["epoch_next"])
+        loop.task.load_extra_state(meta.get("task_state", {}))
+
+        # Restore stateful callbacks (e.g. EarlyStopping's patience
+        # counters) by class name, in order, so resumed runs make the same
+        # decisions as uninterrupted ones.
+        unmatched = list(loop.active_callbacks)
+        for entry in meta.get("callbacks", []):
+            if not entry["state"]:
+                continue
+            for i, cb in enumerate(unmatched):
+                if type(cb).__name__ == entry["class"]:
+                    cb.load_state_dict(entry["state"])
+                    del unmatched[i]
+                    break

@@ -1,0 +1,212 @@
+"""The unified training runtime shared by every trainer in the repo.
+
+Before this package the reproduction carried five hand-rolled copies of
+the same epoch/batch loop (stage-1, stage-2, AIRCHITECT v1, GANDSE and
+VAESA).  :class:`TrainLoop` is the single runtime they all run on now:
+
+* epoch/batch driving over a task-supplied :class:`~repro.nn.DataLoader`,
+* Adam optimisers (one per :class:`OptimSpec`; GANDSE's alternating
+  generator/discriminator steps use two) with optional per-spec cosine
+  schedules and gradient clipping,
+* per-epoch loss-history accounting and verbose reporting,
+* a callback system (:mod:`repro.train.callbacks`) for checkpoint/resume,
+  early stopping and throughput statistics.
+
+A :class:`TrainTask` describes *what* one trainer does per batch; the loop
+owns *when*.  Porting was done seed-for-seed: every task consumes its
+``numpy`` generator in exactly the order the original loop did, so loss
+histories are bit-identical to the pre-refactor code (asserted by
+``tests/train/test_parity.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["OptimSpec", "StepContext", "TrainTask", "TrainLoop"]
+
+
+@dataclass
+class OptimSpec:
+    """One optimiser slot of a task: parameters, lr, schedule, clipping.
+
+    ``schedule`` is an epoch -> lr-multiplier callable (e.g.
+    :func:`repro.nn.cosine_schedule`); ``None`` keeps the lr constant.
+    """
+
+    params: list[nn.Parameter]
+    lr: float
+    schedule: Callable[[int], float] | None = None
+    grad_clip: float | None = None
+
+
+class StepContext:
+    """Handed to :meth:`TrainTask.batch_step`; applies optimiser updates."""
+
+    def __init__(self, optimizers: dict[str, nn.Optimizer],
+                 specs: dict[str, OptimSpec]):
+        self._optimizers = optimizers
+        self._specs = specs
+
+    def apply(self, loss, name: str = "main"):
+        """zero_grad -> backward -> clip -> step on the named optimiser."""
+        opt = self._optimizers[name]
+        spec = self._specs[name]
+        opt.zero_grad()
+        loss.backward()
+        if spec.grad_clip is not None:
+            nn.clip_grad_norm(spec.params, spec.grad_clip)
+        opt.step()
+        return loss
+
+
+class TrainTask:
+    """What one trainer does per batch; subclasses fill in the specifics.
+
+    Required attributes: ``model`` (the :class:`~repro.nn.Module` being
+    fitted), ``epochs`` and ``seed``.  ``history_keys`` names the per-epoch
+    metrics ``batch_step`` returns; the loop averages them over batches.
+    """
+
+    name: str = "train"
+    history_keys: tuple[str, ...] = ("loss",)
+    model: nn.Module
+    epochs: int
+    seed: int
+
+    def loader(self, rng: np.random.Generator) -> nn.DataLoader:
+        """Build the mini-batch iterator (``rng`` drives shuffling)."""
+        raise NotImplementedError
+
+    def optim_specs(self) -> dict[str, OptimSpec]:
+        """Named optimiser slots ('main' for single-optimiser tasks)."""
+        raise NotImplementedError
+
+    def batch_step(self, batch: tuple, step: StepContext,
+                   rng: np.random.Generator) -> dict[str, float]:
+        """Forward/backward one batch; returns a value per history key."""
+        raise NotImplementedError
+
+    def on_fit_begin(self) -> None:
+        """After ``model.train()``, before data/optimisers (e.g. freezing)."""
+
+    def on_fit_end(self) -> None:
+        """Before ``model.eval()`` (e.g. unfreezing)."""
+
+    def epoch_message(self, history: dict[str, list[float]]) -> str:
+        """The verbose per-epoch report suffix."""
+        key = self.history_keys[0]
+        return f"{key}={history[key][-1]:.4f}"
+
+    def extra_state(self) -> dict:
+        """JSON-serialisable task state to carry through checkpoints."""
+        return {}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore :meth:`extra_state` on resume."""
+
+
+class TrainLoop:
+    """Drives a :class:`TrainTask` to completion (optionally resumable).
+
+    ``fit`` returns the per-epoch history dict, exactly as the five
+    pre-refactor loops did.  With ``checkpoint_path`` set, a resumable
+    snapshot (model + optimiser moments + rng state + history) is written
+    every ``checkpoint_every`` epochs and — when ``resume`` is true and the
+    file exists — training continues from it instead of restarting,
+    bit-identically to an uninterrupted run.
+    """
+
+    def __init__(self, task: TrainTask, callbacks: Sequence = ()):
+        self.task = task
+        self.callbacks = list(callbacks)
+        self.rng: np.random.Generator | None = None
+        self.optimizers: dict[str, nn.Optimizer] = {}
+        self.schedulers: dict[str, nn.LRScheduler] = {}
+        self.history: dict[str, list[float]] = {}
+        self.epoch = -1
+        self.start_epoch = 0
+        self.should_stop = False
+        self.active_callbacks: list = []
+        self.last_epoch_seconds = 0.0
+        self.last_epoch_samples = 0
+
+    @property
+    def model(self) -> nn.Module:
+        return self.task.model
+
+    def fit(self, verbose: bool = False, checkpoint_path=None,
+            checkpoint_every: int = 1, resume: bool = True) -> dict:
+        from .callbacks import Checkpointer
+        from .checkpoint import checkpoint_exists, load_checkpoint
+
+        task = self.task
+        callbacks = list(self.callbacks)
+        if checkpoint_path is not None:
+            callbacks.append(Checkpointer(checkpoint_path,
+                                          every=checkpoint_every))
+
+        model = task.model
+        self.rng = np.random.default_rng(task.seed)
+        model.train()
+        task.on_fit_begin()
+        loader = task.loader(self.rng)
+
+        self._specs = task.optim_specs()
+        self.optimizers = {}
+        self.schedulers = {}
+        for name, spec in self._specs.items():
+            opt = nn.Adam(spec.params, lr=spec.lr)
+            self.optimizers[name] = opt
+            if spec.schedule is not None:
+                self.schedulers[name] = nn.LRScheduler(opt, spec.schedule)
+
+        self.history = {key: [] for key in task.history_keys}
+        self.epoch = -1
+        self.start_epoch = 0
+        self.should_stop = False
+        self.active_callbacks = callbacks
+        if resume and checkpoint_path is not None \
+                and checkpoint_exists(checkpoint_path):
+            load_checkpoint(checkpoint_path, self)
+
+        step = StepContext(self.optimizers, self._specs)
+        for cb in callbacks:
+            cb.on_fit_begin(self)
+        for epoch in range(self.start_epoch, task.epochs):
+            if self.should_stop:
+                break
+            self.epoch = epoch
+            tic = time.perf_counter()
+            sums = dict.fromkeys(task.history_keys, 0.0)
+            batches = 0
+            samples = 0
+            for batch in loader:
+                metrics = task.batch_step(batch, step, self.rng)
+                for key in sums:
+                    sums[key] += metrics[key]
+                batches += 1
+                samples += len(batch[0])
+            for scheduler in self.schedulers.values():
+                scheduler.step()
+            for key in self.history:
+                self.history[key].append(sums[key] / max(batches, 1))
+            self.last_epoch_seconds = time.perf_counter() - tic
+            self.last_epoch_samples = samples
+            if verbose:
+                print(f"[{task.name}] epoch {epoch + 1}/{task.epochs} "
+                      f"{task.epoch_message(self.history)}")
+            for cb in callbacks:
+                cb.on_epoch_end(self)
+        task.on_fit_end()
+        model.eval()
+        for cb in callbacks:
+            cb.on_fit_end(self)
+        return self.history

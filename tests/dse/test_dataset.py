@@ -73,6 +73,22 @@ class TestSplitAndPersistence:
         train, test = small_dataset.split(0.25, rng)
         assert len(test) == 150 and len(train) == 450
 
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2, 1.5])
+    def test_degenerate_fraction_rejected(self, small_dataset, rng, fraction):
+        with pytest.raises(ValueError, match="test_fraction"):
+            small_dataset.split(fraction, rng)
+
+    def test_too_small_dataset_rejected(self, small_dataset, rng):
+        single = small_dataset.subset(np.array([0]))
+        with pytest.raises(ValueError, match="non-empty"):
+            single.split(0.5, rng)
+
+    def test_both_splits_nonempty_at_extreme_fraction(self, small_dataset,
+                                                      rng):
+        train, test = small_dataset.split(0.999, rng)
+        assert len(train) >= 1 and len(test) >= 1
+        assert len(train) + len(test) == len(small_dataset)
+
     def test_split_disjoint(self, small_dataset, rng):
         train, test = small_dataset.split(0.5, rng)
         train_rows = {tuple(r) + (c,) for r, c in

@@ -1,0 +1,83 @@
+"""Sharded dataset labelling: bit-identical to serial, cache-warming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import (ExhaustiveOracle, ShardedLabeller, label_inputs,
+                       generate_random_dataset)
+
+
+@pytest.fixture(scope="module")
+def inputs(problem):
+    return problem.sample_inputs(600, np.random.default_rng(13))
+
+
+class TestShardedLabeller:
+    def test_bit_identical_to_serial(self, problem, inputs):
+        serial = ExhaustiveOracle(problem).solve(inputs)
+        with ShardedLabeller(ExhaustiveOracle(problem), num_workers=2,
+                             min_shard_size=32) as labeller:
+            sharded = labeller.label(inputs)
+        np.testing.assert_array_equal(sharded.pe_idx, serial.pe_idx)
+        np.testing.assert_array_equal(sharded.l2_idx, serial.l2_idx)
+        np.testing.assert_array_equal(sharded.best_cost, serial.best_cost)
+
+    def test_warm_parent_cache(self, problem, inputs):
+        oracle = ExhaustiveOracle(problem)
+        with ShardedLabeller(oracle, num_workers=2,
+                             min_shard_size=32) as labeller:
+            labeller.label(inputs)
+        # A follow-up serial solve is served entirely from the cache.
+        before = oracle.cache_info()
+        assert before.size > 0
+        oracle.solve(inputs)
+        after = oracle.cache_info()
+        assert after.misses == before.misses
+
+    def test_small_batch_skips_pool(self, problem):
+        labeller = ShardedLabeller(ExhaustiveOracle(problem), num_workers=2,
+                                   min_shard_size=256)
+        small = problem.sample_inputs(10, np.random.default_rng(1))
+        result = labeller.label(small)
+        assert labeller._pool is None        # never spun up
+        assert len(result.pe_idx) == 10
+        labeller.close()
+
+    def test_single_worker_is_serial(self, problem, inputs):
+        labeller = ShardedLabeller(ExhaustiveOracle(problem), num_workers=1)
+        result = labeller.label(inputs)
+        assert labeller._pool is None
+        assert len(result.pe_idx) == len(inputs)
+        labeller.close()
+
+    def test_shards_are_contiguous_and_bounded(self, problem, inputs):
+        labeller = ShardedLabeller(ExhaustiveOracle(problem), num_workers=4,
+                                   min_shard_size=16, max_shard_size=100)
+        shards = labeller.shard(inputs)
+        assert sum(len(rows) for _, rows in shards) == len(inputs)
+        assert max(len(rows) for _, rows in shards) <= 100
+        rebuilt = np.concatenate([rows for _, rows in shards])
+        np.testing.assert_array_equal(rebuilt, inputs)
+        labeller.close()
+
+    def test_label_inputs_helper(self, problem, inputs):
+        serial = label_inputs(ExhaustiveOracle(problem), inputs, num_workers=1)
+        sharded = label_inputs(ExhaustiveOracle(problem), inputs,
+                               num_workers=2)
+        np.testing.assert_array_equal(sharded.pe_idx, serial.pe_idx)
+        np.testing.assert_array_equal(sharded.best_cost, serial.best_cost)
+
+
+class TestGeneratorsWithWorkers:
+    def test_random_dataset_parallel_labels_identical(self, problem):
+        serial = generate_random_dataset(problem, 600,
+                                         np.random.default_rng(3))
+        parallel = generate_random_dataset(problem, 600,
+                                           np.random.default_rng(3),
+                                           num_workers=2)
+        np.testing.assert_array_equal(parallel.inputs, serial.inputs)
+        np.testing.assert_array_equal(parallel.pe_idx, serial.pe_idx)
+        np.testing.assert_array_equal(parallel.l2_idx, serial.l2_idx)
+        np.testing.assert_array_equal(parallel.best_cost, serial.best_cost)

@@ -125,3 +125,69 @@ class TestSequential:
         model = _mlp(rng)
         assert len(model) == 3
         assert isinstance(model[0], nn.Linear)
+
+
+class TestBuffers:
+    def _host(self, rng):
+        class Host(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(2, 2, rng)
+                self.register_buffer("stat", np.float64(0.0))
+
+        return Host()
+
+    def test_buffer_is_attribute_and_registered(self, rng):
+        host = self._host(rng)
+        assert float(host.stat) == 0.0
+        assert dict(host.named_buffers())["stat"].shape == ()
+
+    def test_assignment_updates_buffer(self, rng):
+        host = self._host(rng)
+        host.stat = 2.5
+        assert float(dict(host.named_buffers())["stat"]) == 2.5
+
+    def test_buffers_excluded_from_parameters(self, rng):
+        host = self._host(rng)
+        names = [name for name, _ in host.named_parameters()]
+        assert "stat" not in names
+
+    def test_state_dict_roundtrip_includes_buffers(self, rng):
+        host = self._host(rng)
+        host.stat = 7.0
+        other = self._host(rng)
+        other.load_state_dict(host.state_dict())
+        assert float(other.stat) == 7.0
+
+    def test_missing_buffer_key_tolerated(self, rng):
+        host = self._host(rng)
+        host.stat = 3.0
+        state = host.state_dict()
+        del state["stat"]
+        host.load_state_dict(state)       # params strict, buffers lenient
+        assert float(host.stat) == 3.0    # kept its current value
+
+    def test_buffer_shape_mismatch_raises(self, rng):
+        host = self._host(rng)
+        state = host.state_dict()
+        state["stat"] = np.ones(3)
+        with pytest.raises(ValueError):
+            host.load_state_dict(state)
+
+    def test_nested_buffer_dotted_names(self, rng):
+        class Inner(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.register_buffer("mean", np.zeros(2))
+
+        class Outer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+
+        outer = Outer()
+        assert "inner.mean" in dict(outer.named_buffers())
+        state = outer.state_dict()
+        state["inner.mean"] = np.array([1.0, 2.0])
+        outer.load_state_dict(state)
+        np.testing.assert_array_equal(outer.inner.mean, [1.0, 2.0])

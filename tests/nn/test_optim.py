@@ -130,3 +130,55 @@ class TestSchedules:
         assert opt.lr == pytest.approx(0.1)
         scheduler.step()
         assert opt.lr == pytest.approx(0.01)
+
+
+class TestOptimizerState:
+    def _trained(self, opt_cls, **kwargs):
+        x = Parameter(np.ones(3))
+        opt = opt_cls([x], **kwargs)
+        for _ in range(3):
+            x.grad = np.full(3, 0.5)
+            opt.step()
+        return x, opt
+
+    def test_adam_state_roundtrip_continues_identically(self):
+        x1, opt1 = self._trained(nn.Adam, lr=0.1)
+        x2 = Parameter(x1.data.copy())
+        opt2 = nn.Adam([x2], lr=0.1)
+        opt2.load_state_dict(opt1.state_dict())
+        for opt, x in ((opt1, x1), (opt2, x2)):
+            x.grad = np.full(3, 0.25)
+            opt.step()
+        np.testing.assert_array_equal(x1.data, x2.data)
+
+    def test_sgd_momentum_state_roundtrip(self):
+        x1, opt1 = self._trained(nn.SGD, lr=0.1, momentum=0.9)
+        x2 = Parameter(x1.data.copy())
+        opt2 = nn.SGD([x2], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(opt1.state_dict())
+        for opt, x in ((opt1, x1), (opt2, x2)):
+            x.grad = np.full(3, 0.25)
+            opt.step()
+        np.testing.assert_array_equal(x1.data, x2.data)
+
+    def test_state_dict_is_a_copy(self):
+        x, opt = self._trained(nn.Adam, lr=0.1)
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert not np.array_equal(opt.state_dict()["m"][0], state["m"][0])
+
+    def test_mismatched_shapes_rejected(self):
+        _, opt = self._trained(nn.Adam, lr=0.1)
+        bad = opt.state_dict()
+        bad["m"] = [np.ones(5)]
+        fresh = nn.Adam([Parameter(np.ones(3))], lr=0.1)
+        with pytest.raises(ValueError):
+            fresh.load_state_dict(bad)
+
+    def test_mismatched_count_rejected(self):
+        _, opt = self._trained(nn.Adam, lr=0.1)
+        bad = opt.state_dict()
+        bad["v"] = []
+        fresh = nn.Adam([Parameter(np.ones(3))], lr=0.1)
+        with pytest.raises(ValueError):
+            fresh.load_state_dict(bad)

@@ -118,3 +118,55 @@ class TestServeCommand:
             main(["serve", "--help"])
         assert err.value.code == 0
         assert "/predict" in capsys.readouterr().out
+
+
+class TestTrainCommand:
+    def test_smoke_trains_and_reports_json(self, tmp_path, capsys):
+        code = main(["train", "--smoke", "--cache", str(tmp_path), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "v2"
+        assert doc["scale"] == "tiny"
+        assert doc["cached_model"] is False
+        assert doc["train_samples"] > 0
+        assert 0.0 <= doc["accuracy"] <= 1.0
+
+    def test_second_run_loads_cached_model(self, tmp_path, capsys):
+        main(["train", "--smoke", "--cache", str(tmp_path), "--json"])
+        capsys.readouterr()
+        code = main(["train", "--smoke", "--cache", str(tmp_path), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cached_model"] is True
+
+    def test_checkpoints_cleaned_after_success(self, tmp_path, capsys):
+        main(["train", "--smoke", "--cache", str(tmp_path)])
+        leftovers = list(tmp_path.glob("**/ckpt_*"))
+        assert leftovers == []
+
+    def test_parallel_labelling_workers(self, tmp_path, capsys):
+        code = main(["train", "--smoke", "--cache", str(tmp_path),
+                     "--workers", "2", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["label_workers"] == 2
+
+    def test_baseline_model(self, tmp_path, capsys):
+        code = main(["train", "--smoke", "--model", "v1",
+                     "--cache", str(tmp_path), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "v1"
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(SystemExit) as err:
+            main(["train", "--smoke", "--workers", "0"])
+        assert err.value.code == 2
+
+    def test_vaesa_trains_without_oneshot_metrics(self, tmp_path, capsys):
+        code = main(["train", "--smoke", "--model", "vaesa",
+                     "--cache", str(tmp_path), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "vaesa"
+        assert doc["accuracy"] is None    # search-based inference

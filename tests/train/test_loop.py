@@ -1,0 +1,222 @@
+"""The unified TrainLoop runtime: callbacks, checkpointing, resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GANDSE, GANDSEConfig, train_gandse
+from repro.core import (AirchitectV2, ModelConfig, Stage1Config, Stage1Trainer,
+                        Stage2Config, Stage2Trainer)
+from repro.dse import generate_random_dataset
+from repro.train import (Callback, CheckpointMismatchError, Checkpointer,
+                         EarlyStopping, ThroughputMonitor, checkpoint_exists)
+
+
+@pytest.fixture(scope="module")
+def train_data(problem):
+    return generate_random_dataset(problem, 300, np.random.default_rng(55))
+
+
+def _v2_model(problem, seed=0):
+    config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+                         head_hidden=16, num_buckets=8)
+    return AirchitectV2(config, problem, np.random.default_rng(seed))
+
+
+class StopAfter(Callback):
+    """Simulate an interrupt: request a stop after ``n`` completed epochs."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def on_epoch_end(self, loop) -> None:
+        if loop.epoch + 1 >= self.n:
+            loop.should_stop = True
+
+
+class TestCheckpointResume:
+    def test_stage1_resume_matches_uninterrupted_run(self, problem,
+                                                     train_data, tmp_path):
+        config = Stage1Config(epochs=6)
+        straight_model = _v2_model(problem)
+        straight = Stage1Trainer(straight_model, config).train(train_data)
+
+        ckpt = tmp_path / "stage1.npz"
+        partial = Stage1Trainer(_v2_model(problem), config).train(
+            train_data, callbacks=[StopAfter(3)], checkpoint_path=ckpt)
+        assert len(partial["loss"]) == 3
+        assert checkpoint_exists(ckpt)
+
+        resumed_model = _v2_model(problem)
+        resumed_trainer = Stage1Trainer(resumed_model, config)
+        resumed = resumed_trainer.train(train_data, checkpoint_path=ckpt)
+        assert resumed == straight
+        for key, param in resumed_model.named_parameters():
+            np.testing.assert_array_equal(
+                param.data, dict(straight_model.named_parameters())[key].data,
+                err_msg=key)
+        assert float(resumed_model.perf_mean) == float(straight_model.perf_mean)
+
+    def test_gandse_resume_multi_optimizer(self, problem, train_data,
+                                           tmp_path):
+        """Resume restores both optimisers' moments and the noise rng."""
+        config = GANDSEConfig(epochs=5)
+        straight_model = GANDSE(config, problem, np.random.default_rng(0))
+        straight = train_gandse(straight_model, train_data)
+
+        ckpt = tmp_path / "gandse.npz"
+        train_gandse(GANDSE(config, problem, np.random.default_rng(0)),
+                     train_data, callbacks=[StopAfter(2)],
+                     checkpoint_path=ckpt)
+        resumed_model = GANDSE(config, problem, np.random.default_rng(0))
+        resumed = train_gandse(resumed_model, train_data,
+                               checkpoint_path=ckpt)
+        assert resumed == straight
+        for key, param in resumed_model.named_parameters():
+            np.testing.assert_array_equal(
+                param.data, dict(straight_model.named_parameters())[key].data,
+                err_msg=key)
+
+    def test_completed_checkpoint_trains_zero_epochs(self, problem,
+                                                     train_data, tmp_path):
+        config = Stage2Config(epochs=3)
+        ckpt = tmp_path / "stage2.npz"
+        model = _v2_model(problem)
+        Stage1Trainer(model, Stage1Config(epochs=1)).train(train_data)
+        first = Stage2Trainer(model, config).train(train_data,
+                                                   checkpoint_path=ckpt)
+        before = {k: p.data.copy() for k, p in model.named_parameters()}
+        again = Stage2Trainer(model, config).train(train_data,
+                                                   checkpoint_path=ckpt)
+        assert again == first
+        for key, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[key], err_msg=key)
+
+    def test_resume_false_restarts(self, problem, train_data, tmp_path):
+        config = Stage1Config(epochs=3)
+        ckpt = tmp_path / "stage1.npz"
+        Stage1Trainer(_v2_model(problem), config).train(
+            train_data, callbacks=[StopAfter(1)], checkpoint_path=ckpt)
+        history = Stage1Trainer(_v2_model(problem), config).train(
+            train_data, checkpoint_path=ckpt, resume=False)
+        assert len(history["loss"]) == 3
+
+    def test_mismatched_checkpoint_refused(self, problem, train_data,
+                                           tmp_path):
+        ckpt = tmp_path / "stage1.npz"
+        Stage1Trainer(_v2_model(problem), Stage1Config(epochs=2)).train(
+            train_data, checkpoint_path=ckpt)
+        with pytest.raises(CheckpointMismatchError):
+            Stage1Trainer(_v2_model(problem), Stage1Config(epochs=4)).train(
+                train_data, checkpoint_path=ckpt)
+
+    def test_checkpoint_every_interval(self, problem, train_data, tmp_path):
+        ckpt = tmp_path / "stage1.npz"
+        saver = Checkpointer(ckpt, every=2)
+        Stage1Trainer(_v2_model(problem), Stage1Config(epochs=5)).train(
+            train_data, callbacks=[saver])
+        # Epochs 2, 4 (interval) and 5 (final) -> three saves.
+        assert saver.saves == 3
+        assert checkpoint_exists(ckpt)
+
+
+class TestCallbacks:
+    def test_early_stopping_halts(self, problem, train_data):
+        stopper = EarlyStopping(monitor="loss", patience=1, min_delta=10.0)
+        history = Stage1Trainer(_v2_model(problem), Stage1Config(epochs=8)) \
+            .train(train_data, callbacks=[stopper])
+        # With an impossible min_delta the second epoch never improves.
+        assert len(history["loss"]) == 2
+        assert stopper.stopped_epoch == 1
+
+    def test_early_stopping_does_not_fire_while_improving(self, problem,
+                                                          train_data):
+        stopper = EarlyStopping(monitor="loss", patience=8)
+        history = Stage1Trainer(_v2_model(problem), Stage1Config(epochs=4)) \
+            .train(train_data, callbacks=[stopper])
+        assert len(history["loss"]) == 4
+        assert stopper.stopped_epoch is None
+
+    def test_throughput_monitor(self, problem, train_data):
+        monitor = ThroughputMonitor()
+        Stage1Trainer(_v2_model(problem), Stage1Config(epochs=3)) \
+            .train(train_data, callbacks=[monitor])
+        assert len(monitor.epochs) == 3
+        assert monitor.total_seconds > 0
+        assert monitor.mean_samples_per_sec > 0
+        assert all(e["samples"] > 0 for e in monitor.epochs)
+
+    def test_callbacks_do_not_change_results(self, problem, train_data):
+        """Attaching observers must not perturb the training stream."""
+        config = Stage1Config(epochs=3)
+        plain = Stage1Trainer(_v2_model(problem), config).train(train_data)
+        observed = Stage1Trainer(_v2_model(problem), config).train(
+            train_data, callbacks=[ThroughputMonitor(),
+                                   EarlyStopping(patience=99)])
+        assert observed == plain
+
+
+class TestBuffers:
+    def test_perf_stats_roundtrip_through_save_load(self, problem, train_data,
+                                                    tmp_path):
+        """A loaded model de-normalises performance without retraining."""
+        from repro.nn import load_module, save_module
+        model = _v2_model(problem)
+        trainer = Stage1Trainer(model, Stage1Config(epochs=2))
+        trainer.train(train_data)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+
+        fresh = _v2_model(problem, seed=9)
+        load_module(fresh, path)
+        assert float(fresh.perf_mean) == trainer.perf_mean
+        assert float(fresh.perf_std) == trainer.perf_std
+        np.testing.assert_allclose(
+            fresh.predict_performance(train_data.inputs[:16]),
+            model.predict_performance(train_data.inputs[:16]))
+
+    def test_predict_performance_denormalises(self, problem, train_data):
+        model = _v2_model(problem)
+        Stage1Trainer(model, Stage1Config(epochs=3)).train(train_data)
+        denorm = model.predict_performance(train_data.inputs[:32])
+        raw = model.predict_performance(train_data.inputs[:32],
+                                        denormalise=False)
+        np.testing.assert_allclose(
+            denorm,
+            np.exp(raw * float(model.perf_std) + float(model.perf_mean)))
+        assert (denorm > 0).all()
+
+    def test_legacy_snapshot_without_buffers_loads(self, problem, tmp_path):
+        """Pre-buffer .npz snapshots (parameters only) still load."""
+        import numpy as np_
+        from repro.nn import load_module
+        model = _v2_model(problem)
+        state = {name: param.data
+                 for name, param in model.named_parameters()}
+        path = tmp_path / "legacy.npz"
+        np_.savez(path, **state)
+        fresh = _v2_model(problem, seed=3)
+        load_module(fresh, path)
+        assert float(fresh.perf_mean) == 0.0   # buffer kept its default
+
+    def test_early_stopping_state_survives_resume(self, problem, train_data,
+                                                  tmp_path):
+        """A resumed run makes the same stopping decision as an
+        uninterrupted one, and a completed early-stopped run does not
+        train further on re-run."""
+        config = Stage1Config(epochs=8)
+        ckpt = tmp_path / "es.npz"
+        stopper = EarlyStopping(monitor="loss", patience=1, min_delta=10.0)
+        history = Stage1Trainer(_v2_model(problem), config).train(
+            train_data, callbacks=[stopper], checkpoint_path=ckpt)
+        assert len(history["loss"]) == 2          # stopped at epoch 2
+
+        # Re-run with a *fresh* EarlyStopping: its counters are restored
+        # from the checkpoint, so no extra epochs are trained.
+        resumed = Stage1Trainer(_v2_model(problem), config).train(
+            train_data,
+            callbacks=[EarlyStopping(monitor="loss", patience=1,
+                                     min_delta=10.0)],
+            checkpoint_path=ckpt)
+        assert resumed == history

@@ -1,0 +1,367 @@
+"""Seed-for-seed parity: the unified TrainLoop vs the pre-refactor loops.
+
+Each legacy function below is a frozen copy of the hand-rolled training
+loop that existed before the :mod:`repro.train` refactor (PR 3).  The
+ported trainers must reproduce their per-epoch loss histories *exactly* —
+same rng consumption order, same floating-point op order — which is the
+contract that let the five loops be deleted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (GANDSE, GANDSEConfig, AirchitectV1, V1Config,
+                             VAESA, VAESAConfig, train_gandse, train_v1,
+                             train_vaesa)
+from repro.core import (AirchitectV2, ModelConfig, Stage1Config, Stage1Trainer,
+                        Stage2Config, Stage2Trainer, contrastive_labels)
+from repro.dse import generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def train_data(problem):
+    return generate_random_dataset(problem, 300, np.random.default_rng(77))
+
+
+def _v2_model(problem, seed=0, **overrides):
+    config = dict(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+                  head_hidden=16, num_buckets=8)
+    config.update(overrides)
+    return AirchitectV2(ModelConfig(**config), problem,
+                        np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-refactor loops
+# ----------------------------------------------------------------------
+def _legacy_stage1(trainer, dataset):
+    cfg = trainer.config
+    rng = np.random.default_rng(cfg.seed)
+    model = trainer.model
+    model.train()
+
+    labels = contrastive_labels(model, dataset)
+    perf, trainer.perf_mean, trainer.perf_std = dataset.perf_targets()
+    data = nn.ArrayDataset(dataset.inputs, labels, perf)
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng,
+                           drop_last=len(data) > cfg.batch_size)
+
+    params = model.encoder.parameters() + model.perf_head.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+    scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+
+    history = {"loss": [], "contrastive": [], "perf": []}
+    for _epoch in range(cfg.epochs):
+        sums = {"loss": 0.0, "contrastive": 0.0, "perf": 0.0}
+        batches = 0
+        for xb, yb, pb in loader:
+            embedding = model.embed(xb)
+            pred_perf = model.perf_head(embedding)
+
+            terms = []
+            lc_val = lp_val = 0.0
+            if cfg.use_contrastive:
+                lc = trainer.contrastive(embedding, yb)
+                terms.append(lc)
+                lc_val = lc.item()
+            if cfg.use_perf:
+                lp = nn.l1_loss(pred_perf, pb)
+                terms.append(lp)
+                lp_val = lp.item()
+            if not terms:
+                lp = nn.mse_loss(pred_perf, pb)
+                terms.append(lp)
+                lp_val = lp.item()
+
+            loss = terms[0]
+            for term in terms[1:]:
+                loss = loss + term
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+
+            sums["loss"] += loss.item()
+            sums["contrastive"] += lc_val
+            sums["perf"] += lp_val
+            batches += 1
+        scheduler.step()
+        for key in history:
+            history[key].append(sums[key] / max(batches, 1))
+    model.eval()
+    return history
+
+
+def _legacy_stage2(trainer, dataset):
+    cfg = trainer.config
+    model = trainer.model
+    rng = np.random.default_rng(cfg.seed)
+
+    model.train()
+    model.encoder.requires_grad_(False)
+    model.perf_head.requires_grad_(False)
+
+    pe_t, l2_t = trainer._targets(dataset)
+    data = nn.ArrayDataset(dataset.inputs, pe_t, l2_t)
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    params = model.decoder.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+    scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+
+    history = {"loss": []}
+    for _epoch in range(cfg.epochs):
+        total, batches = 0.0, 0
+        for xb, pb, lb in loader:
+            embedding = model.embed(xb)
+            pe_logits, l2_logits = model.decoder(embedding.detach())
+            loss = trainer._loss(pe_logits, l2_logits, pb, lb)
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        scheduler.step()
+        history["loss"].append(total / max(batches, 1))
+
+    model.encoder.requires_grad_(True)
+    model.perf_head.requires_grad_(True)
+    model.eval()
+    return history
+
+
+def _legacy_train_v1(model, dataset):
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed)
+    model.train()
+
+    if cfg.head_style == "joint":
+        targets = dataset.joint_labels(model.problem.space.n_l2)
+        data = nn.ArrayDataset(dataset.inputs, targets)
+    else:
+        data = nn.ArrayDataset(dataset.inputs,
+                               model.pe_codec.encode(dataset.pe_idx),
+                               model.l2_codec.encode(dataset.l2_idx))
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    params = model.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+    scheduler = nn.LRScheduler(optimizer, nn.cosine_schedule(cfg.epochs))
+    unification = nn.UnificationLoss()
+
+    history = {"loss": []}
+    for _epoch in range(cfg.epochs):
+        total, batches = 0.0, 0
+        for batch in loader:
+            if cfg.head_style == "joint":
+                xb, yb = batch
+                pe_logits, _ = model.forward(xb)
+                loss = nn.cross_entropy(pe_logits, yb)
+            else:
+                xb, pe_q, l2_q = batch
+                pe_logits, l2_logits = model.forward(xb)
+                loss = unification(pe_logits, pe_q) + unification(l2_logits, l2_q)
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        scheduler.step()
+        history["loss"].append(total / max(batches, 1))
+    model.eval()
+    return history
+
+
+def _legacy_train_gandse(model, dataset):
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed)
+    model.train()
+
+    designs = model.normalise_labels(dataset)
+    data = nn.ArrayDataset(dataset.inputs, designs)
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    g_params = model.generator.parameters()
+    d_params = model.discriminator.parameters()
+    g_opt = nn.Adam(g_params, lr=cfg.lr_generator)
+    d_opt = nn.Adam(d_params, lr=cfg.lr_discriminator)
+
+    history = {"g_loss": [], "d_loss": []}
+    for _epoch in range(cfg.epochs):
+        g_total = d_total = 0.0
+        batches = 0
+        for xb, real in loader:
+            feats = nn.Tensor(model.problem.featurize(xb))
+            batch = len(xb)
+
+            noise = nn.Tensor(rng.normal(size=(batch, cfg.noise_dim)))
+            fake = model.generator(feats, noise).detach()
+            mismatched = real[rng.permutation(batch)]
+            d_real = model.discriminator(feats, nn.Tensor(real))
+            d_fake = model.discriminator(feats, fake)
+            d_mismatch = model.discriminator(feats, nn.Tensor(mismatched))
+            d_loss = (nn.binary_cross_entropy_with_logits(d_real, np.ones(batch)).mean()
+                      + nn.binary_cross_entropy_with_logits(d_fake, np.zeros(batch)).mean()
+                      + nn.binary_cross_entropy_with_logits(d_mismatch, np.zeros(batch)).mean())
+            d_opt.zero_grad()
+            d_loss.backward()
+            nn.clip_grad_norm(d_params, cfg.grad_clip)
+            d_opt.step()
+
+            noise = nn.Tensor(rng.normal(size=(batch, cfg.noise_dim)))
+            gen = model.generator(feats, noise)
+            d_gen = model.discriminator(feats, gen)
+            adv = nn.binary_cross_entropy_with_logits(d_gen, np.ones(batch)).mean()
+            recon = (gen - nn.Tensor(real)).abs().mean()
+            g_loss = adv + recon * cfg.recon_weight
+            g_opt.zero_grad()
+            g_loss.backward()
+            nn.clip_grad_norm(g_params, cfg.grad_clip)
+            g_opt.step()
+
+            g_total += g_loss.item()
+            d_total += d_loss.item()
+            batches += 1
+        history["g_loss"].append(g_total / max(batches, 1))
+        history["d_loss"].append(d_total / max(batches, 1))
+    model.eval()
+    return history
+
+
+def _legacy_train_vaesa(model, dataset):
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed)
+    model.train()
+
+    space = model.problem.space
+    designs = np.stack([dataset.pe_idx / max(space.n_pe - 1, 1),
+                        dataset.l2_idx / max(space.n_l2 - 1, 1)], axis=1)
+    perf, _, _ = dataset.perf_targets()
+    data = nn.ArrayDataset(dataset.inputs, designs, perf)
+    loader = nn.DataLoader(data, cfg.batch_size, shuffle=True, rng=rng)
+
+    params = model.parameters()
+    optimizer = nn.Adam(params, lr=cfg.lr)
+
+    history = {"loss": [], "recon": [], "kl": [], "perf": []}
+    for _epoch in range(cfg.epochs):
+        sums = {"loss": 0.0, "recon": 0.0, "kl": 0.0, "perf": 0.0}
+        batches = 0
+        for xb, db, pb in loader:
+            feats = nn.Tensor(model.problem.featurize(xb))
+            target = nn.Tensor(db)
+
+            mu, logvar = model.encode(target)
+            eps = nn.Tensor(rng.normal(size=mu.shape))
+            z = mu + (logvar * 0.5).exp() * eps
+
+            recon = model.decode(z)
+            recon_loss = nn.mse_loss(recon, db)
+            kl = (-0.5 * (logvar + 1.0 - mu * mu - logvar.exp())).sum(axis=-1).mean()
+            perf_pred = model.predict_perf(z, feats)
+            perf_loss = nn.mse_loss(perf_pred, pb)
+
+            loss = recon_loss + kl * cfg.beta + perf_loss * cfg.perf_weight
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, cfg.grad_clip)
+            optimizer.step()
+
+            sums["loss"] += loss.item()
+            sums["recon"] += recon_loss.item()
+            sums["kl"] += kl.item()
+            sums["perf"] += perf_loss.item()
+            batches += 1
+        for key in history:
+            history[key].append(sums[key] / max(batches, 1))
+    model.eval()
+    return history
+
+
+# ----------------------------------------------------------------------
+# Parity assertions (exact equality: same op order, same rng stream)
+# ----------------------------------------------------------------------
+class TestStage1Parity:
+    @pytest.mark.parametrize("use_c,use_p", [(True, True), (True, False),
+                                             (False, True), (False, False)])
+    def test_history_identical(self, problem, train_data, use_c, use_p):
+        config = Stage1Config(epochs=4, use_contrastive=use_c, use_perf=use_p)
+        legacy_trainer = Stage1Trainer(_v2_model(problem), config)
+        legacy = _legacy_stage1(legacy_trainer, train_data)
+        ported_trainer = Stage1Trainer(_v2_model(problem), config)
+        ported = ported_trainer.train(train_data)
+        assert ported == legacy
+        assert ported_trainer.perf_mean == legacy_trainer.perf_mean
+        assert ported_trainer.perf_std == legacy_trainer.perf_std
+
+    def test_weights_identical(self, problem, train_data):
+        config = Stage1Config(epochs=3)
+        legacy_model = _v2_model(problem)
+        legacy_trainer = Stage1Trainer(legacy_model, config)
+        _legacy_stage1(legacy_trainer, train_data)
+        ported_model = _v2_model(problem)
+        Stage1Trainer(ported_model, config).train(train_data)
+        legacy_params = dict(legacy_model.named_parameters())
+        for key, param in ported_model.named_parameters():
+            np.testing.assert_array_equal(param.data, legacy_params[key].data,
+                                          err_msg=key)
+        # The ported trainer additionally persists the normalisation stats
+        # as model buffers (the legacy loop kept them trainer-only).
+        assert float(ported_model.perf_mean) == legacy_trainer.perf_mean
+        assert float(ported_model.perf_std) == legacy_trainer.perf_std
+
+
+class TestStage2Parity:
+    @pytest.mark.parametrize("style", ["uov", "classification", "joint",
+                                       "regression"])
+    def test_history_identical(self, problem, train_data, style):
+        config = Stage2Config(epochs=4)
+        legacy = _legacy_stage2(
+            Stage2Trainer(_v2_model(problem, head_style=style), config),
+            train_data)
+        ported = Stage2Trainer(
+            _v2_model(problem, head_style=style), config).train(train_data)
+        assert ported == legacy
+
+
+class TestV1Parity:
+    @pytest.mark.parametrize("style", ["joint", "uov"])
+    def test_history_identical(self, problem, train_data, style):
+        config = V1Config(epochs=4, head_style=style)
+        legacy = _legacy_train_v1(
+            AirchitectV1(config, problem, np.random.default_rng(0)),
+            train_data)
+        ported = train_v1(
+            AirchitectV1(config, problem, np.random.default_rng(0)),
+            train_data)
+        assert ported == legacy
+
+
+class TestGANDSEParity:
+    def test_history_identical(self, problem, train_data):
+        """The multi-optimiser case: alternating D/G steps, interleaved
+        noise draws from the shared rng stream."""
+        config = GANDSEConfig(epochs=4)
+        legacy = _legacy_train_gandse(
+            GANDSE(config, problem, np.random.default_rng(0)), train_data)
+        ported = train_gandse(
+            GANDSE(config, problem, np.random.default_rng(0)), train_data)
+        assert ported == legacy
+
+
+class TestVAESAParity:
+    def test_history_identical(self, problem, train_data):
+        config = VAESAConfig(epochs=4)
+        legacy = _legacy_train_vaesa(
+            VAESA(config, problem, np.random.default_rng(0)), train_data)
+        ported = train_vaesa(
+            VAESA(config, problem, np.random.default_rng(0)), train_data)
+        assert ported == legacy
