@@ -285,9 +285,12 @@ def train_main(argv: list[str] | None = None) -> int:
         "gandse": "gandse", "vaesa": "vaesa"}[args.model])
     cached = workspace.has(model_path)
 
+    from .train import ThroughputMonitor
+    throughput = ThroughputMonitor()
     start = time.perf_counter()
     try:
-        model = getter(scale, train_set, workspace, problem)
+        model = getter(scale, train_set, workspace, problem,
+                       callbacks=(throughput,))
     except KeyboardInterrupt:
         print("\ninterrupted: checkpoint saved; re-run the same command "
               "to resume", file=sys.stderr)
@@ -306,6 +309,11 @@ def train_main(argv: list[str] | None = None) -> int:
         # per workload (see fig7/fig8a for its evaluation).
         metrics = None
 
+    # ThroughputMonitor stats make benchmark runs scriptable without
+    # parsing logs; all-zero when the model came from the cache (no epochs
+    # actually ran).
+    mean_epoch_ms = (1000.0 * throughput.total_seconds / len(throughput.epochs)
+                     if throughput.epochs else 0.0)
     summary = {"model": args.model, "scale": scale.name,
                "train_samples": len(train_set),
                "test_samples": len(test_set),
@@ -313,6 +321,12 @@ def train_main(argv: list[str] | None = None) -> int:
                "dataset_elapsed_s": dataset_elapsed,
                "train_elapsed_s": train_elapsed,
                "cached_model": cached,
+               "throughput": {
+                   "epochs": len(throughput.epochs),
+                   "train_seconds": throughput.total_seconds,
+                   "samples_per_sec": throughput.mean_samples_per_sec,
+                   "mean_epoch_ms": mean_epoch_ms,
+               },
                "accuracy": metrics.accuracy if metrics else None,
                "pe_accuracy": metrics.pe_accuracy if metrics else None,
                "l2_accuracy": metrics.l2_accuracy if metrics else None}
@@ -325,6 +339,10 @@ def train_main(argv: list[str] | None = None) -> int:
               f"{train_elapsed:.1f}s (dataset {len(train_set)}+"
               f"{len(test_set)} in {dataset_elapsed:.1f}s, "
               f"{args.workers} label worker(s))")
+        if throughput.epochs:
+            print(f"throughput: {throughput.mean_samples_per_sec:.0f} "
+                  f"samples/sec over {len(throughput.epochs)} epoch(s) "
+                  f"({throughput.total_seconds:.1f}s in the train loop)")
         if metrics is None:
             print("one-shot accuracy n/a (VAESA infers via latent-space "
                   "search; evaluate with 'repro fig7' / 'repro fig8a')")

@@ -209,12 +209,37 @@ class ExhaustiveOracle:
         Evaluates the full design grid per dataflow group (vectorised), then
         takes the cheapest per-sample configuration within ``tolerance`` of
         the minimum.  Cached labels are served from the LRU cache; only the
-        cache-miss rows hit the cost model (grids are never cached — pass
-        ``keep_grid=True`` to force a full recompute of the grid).
+        cache-miss rows hit the cost model.  Grids are never cached, so
+        ``keep_grid=True`` always recomputes every row — but the labels it
+        produces are still recorded into the cache (with hit/miss
+        accounting), so a grid sweep warms later label-only traffic.
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.int64))
-        if keep_grid or self.cache_size == 0:
+        if self.cache_size == 0:
             return self._solve_uncached(inputs, keep_grid)
+        if keep_grid:
+            # Grids are never cached, so a grid request bypasses the LRU
+            # read path entirely — but the labels it computes are recorded
+            # (and hits/misses counted), so a grid-producing sweep warms the
+            # cache for subsequent label-only serving traffic.
+            result = self._solve_uncached(inputs, keep_grid)
+            with self._lock:
+                seen: set[tuple] = set()
+                for i, row in enumerate(inputs.tolist()):
+                    key = tuple(row)
+                    if key in self._cache or key in seen:
+                        self._hits += 1
+                    else:
+                        self._misses += 1
+                    seen.add(key)
+                    if key in self._cache:
+                        self._cache.move_to_end(key)
+                    self._cache[key] = (int(result.pe_idx[i]),
+                                        int(result.l2_idx[i]),
+                                        float(result.best_cost[i]))
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            return result
 
         # The lock spans classification AND the miss computation: another
         # thread's eviction between the two would turn a classified hit

@@ -100,8 +100,14 @@ def _cached_model(workspace: Workspace, scale: ExperimentScale, tag: str,
 def get_v2(scale, train_set: DSEDataset, workspace: Workspace | None = None,
            problem: DSEProblem | None = None, head_style: str = "uov",
            num_buckets: int = 16, use_contrastive: bool = True,
-           use_perf: bool = True, tag: str | None = None) -> AirchitectV2:
-    """Train (or load) an AIRCHITECT v2 variant."""
+           use_perf: bool = True, tag: str | None = None,
+           callbacks=()) -> AirchitectV2:
+    """Train (or load) an AIRCHITECT v2 variant.
+
+    ``callbacks`` (e.g. a :class:`repro.train.ThroughputMonitor`) are
+    attached to both stage fits; they only fire when the model is actually
+    trained, not when it loads from the workspace cache.
+    """
     scale = get_scale(scale)
     workspace = workspace or Workspace()
     problem = problem or get_problem()
@@ -117,16 +123,18 @@ def get_v2(scale, train_set: DSEDataset, workspace: Workspace | None = None,
     def fit(model: AirchitectV2, checkpoint) -> None:
         s1, s2 = stage_configs(scale, use_contrastive, use_perf)
         Stage1Trainer(model, s1).train(
-            train_set, checkpoint_path=f"{checkpoint}_stage1.npz")
+            train_set, callbacks=callbacks,
+            checkpoint_path=f"{checkpoint}_stage1.npz")
         Stage2Trainer(model, s2).train(
-            train_set, checkpoint_path=f"{checkpoint}_stage2.npz")
+            train_set, callbacks=callbacks,
+            checkpoint_path=f"{checkpoint}_stage2.npz")
 
     return _cached_model(workspace, scale, tag, build, fit)
 
 
 def get_v1(scale, train_set: DSEDataset, workspace: Workspace | None = None,
            problem: DSEProblem | None = None,
-           head_style: str = "joint") -> AirchitectV1:
+           head_style: str = "joint", callbacks=()) -> AirchitectV1:
     """Train (or load) the AIRCHITECT v1 baseline."""
     scale = get_scale(scale)
     workspace = workspace or Workspace()
@@ -140,13 +148,13 @@ def get_v1(scale, train_set: DSEDataset, workspace: Workspace | None = None,
 
     return _cached_model(
         workspace, scale, f"v1_{head_style}", build,
-        lambda model, ckpt: train_v1(model, train_set,
+        lambda model, ckpt: train_v1(model, train_set, callbacks=callbacks,
                                      checkpoint_path=f"{ckpt}.npz"))
 
 
 def get_gandse(scale, train_set: DSEDataset,
                workspace: Workspace | None = None,
-               problem: DSEProblem | None = None) -> GANDSE:
+               problem: DSEProblem | None = None, callbacks=()) -> GANDSE:
     """Train (or load) the GANDSE baseline."""
     scale = get_scale(scale)
     workspace = workspace or Workspace()
@@ -159,13 +167,13 @@ def get_gandse(scale, train_set: DSEDataset,
 
     return _cached_model(
         workspace, scale, "gandse", build,
-        lambda model, ckpt: train_gandse(model, train_set,
+        lambda model, ckpt: train_gandse(model, train_set, callbacks=callbacks,
                                          checkpoint_path=f"{ckpt}.npz"))
 
 
 def get_vaesa(scale, train_set: DSEDataset,
               workspace: Workspace | None = None,
-              problem: DSEProblem | None = None) -> VAESA:
+              problem: DSEProblem | None = None, callbacks=()) -> VAESA:
     """Train (or load) the VAESA baseline."""
     scale = get_scale(scale)
     workspace = workspace or Workspace()
@@ -178,5 +186,5 @@ def get_vaesa(scale, train_set: DSEDataset,
 
     return _cached_model(
         workspace, scale, "vaesa", build,
-        lambda model, ckpt: train_vaesa(model, train_set,
+        lambda model, ckpt: train_vaesa(model, train_set, callbacks=callbacks,
                                         checkpoint_path=f"{ckpt}.npz"))

@@ -6,9 +6,10 @@ framework: an autograd :class:`Tensor`, transformer layers, losses
 pipelines.  See DESIGN.md §2 for why this substitutes for PyTorch.
 """
 
-from . import functional, init
+from . import functional, fused, init
 from .attention import (DownsampleUnit, FeedForward, MultiHeadSelfAttention,
                         TransformerBlock, TransformerStack, UpsampleUnit)
+from .fused import fused_enabled, fused_kernels
 from .data import ArrayDataset, DataLoader, train_test_split
 from .layers import (Dropout, Embedding, GELU, Identity, LayerNorm, Linear,
                      ReLU, Sigmoid, Tanh)
@@ -23,7 +24,7 @@ from .tensor import Tensor, as_tensor, concat, no_grad, stack, where
 
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "where", "no_grad",
-    "functional", "init",
+    "functional", "fused", "fused_enabled", "fused_kernels", "init",
     "Module", "ModuleList", "Parameter", "Sequential",
     "Linear", "LayerNorm", "Embedding", "Dropout",
     "ReLU", "GELU", "Tanh", "Sigmoid", "Identity",

@@ -16,6 +16,7 @@ import math
 import numpy as np
 
 from . import functional as F
+from . import fused
 from .layers import Dropout, GELU, LayerNorm, Linear
 from .module import Module, ModuleList, Sequential
 from .tensor import Tensor
@@ -49,6 +50,8 @@ class MultiHeadSelfAttention(Module):
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         # (batch, seq, dim) -> (batch, heads, seq, head_dim)
+        if fused.fused_enabled():
+            return fused.split_heads(x, self.num_heads, self.head_dim)
         return x.reshape(batch, seq, self.num_heads, self.head_dim).swapaxes(1, 2)
 
     def forward(self, x: Tensor) -> Tensor:
@@ -57,12 +60,24 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
 
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        k_t = k.swapaxes(-1, -2)
+        scale = 1.0 / math.sqrt(self.head_dim)
+        if fused.fused_enabled():
+            scores = fused.scaled_matmul(q, k_t, scale)
+        else:
+            scores = (q @ k_t) * scale
         attn = F.softmax(scores, axis=-1)
         attn = self.attn_dropout(attn)
-        context = attn @ v  # (batch, heads, seq, head_dim)
+        if fused.fused_enabled():
+            context = fused.matmul(attn, v)  # (batch, heads, seq, head_dim)
+        else:
+            context = attn @ v
 
-        merged = context.swapaxes(1, 2).reshape(batch, seq, self.dim)
+
+        if fused.fused_enabled():
+            merged = fused.merge_heads(context)
+        else:
+            merged = context.swapaxes(1, 2).reshape(batch, seq, self.dim)
         return self.out_proj(merged)
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
+from . import fused
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
@@ -28,6 +29,8 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused.fused_enabled() and isinstance(x, Tensor) and x.data.ndim >= 2:
+            return fused.linear(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -48,6 +51,8 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused.fused_enabled() and isinstance(x, Tensor):
+            return fused.layer_norm(x, self.gamma, self.beta, self.eps)
         mean = x.mean(axis=-1, keepdims=True)
         centred = x - mean
         var = (centred * centred).mean(axis=-1, keepdims=True)

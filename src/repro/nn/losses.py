@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
+from . import fused
 from .module import Module
 from .tensor import Tensor, as_tensor, where
 
@@ -32,6 +33,8 @@ __all__ = [
 def mse_loss(pred: Tensor, target) -> Tensor:
     """Mean squared error."""
     target = as_tensor(target)
+    if fused.fused_enabled() and isinstance(pred, Tensor):
+        return fused.mse_mean(pred, target.data)
     diff = pred - target.detach()
     return (diff * diff).mean()
 
@@ -39,6 +42,8 @@ def mse_loss(pred: Tensor, target) -> Tensor:
 def l1_loss(pred: Tensor, target) -> Tensor:
     """Mean absolute error — the paper's performance-prediction loss L_perf."""
     target = as_tensor(target)
+    if fused.fused_enabled() and isinstance(pred, Tensor):
+        return fused.l1_mean(pred, target.data)
     return (pred - target.detach()).abs().mean()
 
 
@@ -47,6 +52,8 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     targets = np.asarray(targets, dtype=np.int64)
     log_probs = F.log_softmax(logits, axis=-1)
     onehot = F.one_hot(targets, logits.shape[-1])
+    if fused.fused_enabled():
+        return fused.nll_mean(log_probs, onehot)
     return -(log_probs * Tensor(onehot)).sum(axis=-1).mean()
 
 
@@ -62,6 +69,8 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
     unification loss needs per-element weighting before reduction.
     """
     targets = as_tensor(targets).detach()
+    if fused.fused_enabled() and isinstance(logits, Tensor):
+        return fused.bce_with_logits(logits, targets.data)
     return _softplus(logits) - logits * targets
 
 
@@ -143,6 +152,9 @@ class UnificationLoss(Module):
 
     def forward(self, logits: Tensor, target_uov) -> Tensor:
         q = as_tensor(target_uov).detach()
+        if fused.fused_enabled() and self.gamma == 1.0 \
+                and isinstance(logits, Tensor):
+            return fused.unification_loss(logits, q.data, self.alpha)
         u = logits.sigmoid()
         bce = binary_cross_entropy_with_logits(logits, q)
 

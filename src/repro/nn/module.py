@@ -161,7 +161,13 @@ class Module:
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{value.shape} vs {param.data.shape}")
-            param.data = value.astype(param.data.dtype, copy=True)
+            if param.data.flags.writeable:
+                # In-place load (values identical to the astype copy this
+                # replaces) keeps optimiser flat-arena views bound to the
+                # parameter across checkpoint restores.
+                np.copyto(param.data, value)
+            else:
+                param.data = value.astype(param.data.dtype, copy=True)
         for name, current in own_buffers.items():
             if name not in state:
                 continue

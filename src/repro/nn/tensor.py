@@ -11,10 +11,20 @@ Design notes
 * Gradients are accumulated into ``Tensor.grad`` (a plain ``numpy.ndarray``)
   by :meth:`Tensor.backward`, which walks the recorded computation graph in
   reverse topological order.
+* The DFS post-order used by ``backward`` is part of the numeric contract
+  (it fixes the arrival order of gradient contributions into shared
+  tensors); the fused kernels in :mod:`repro.nn.fused` collapse
+  single-input op chains, which occupy a contiguous run of that order, so
+  fusion changes neither the values nor the accumulation order of any
+  gradient.
 * Broadcasting in binary operations is handled by summing the upstream
   gradient over the broadcast axes (:func:`_unbroadcast`).
 * A module-level ``no_grad`` context manager disables graph recording for
   inference-time code paths.
+* Optimisers may pin a preallocated gradient buffer onto a tensor
+  (``_grad_buf``); accumulation then happens in place into that buffer, so
+  flat-arena optimisers see every gradient land in one contiguous array
+  without per-step allocations (see :class:`repro.nn.optim.Optimizer`).
 """
 
 from __future__ import annotations
@@ -86,7 +96,8 @@ class Tensor:
         :meth:`backward` can compute ``d(output)/d(this)``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_buf", "name")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = _as_array(data)
@@ -94,6 +105,7 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._grad_buf: np.ndarray | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -159,7 +171,40 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            buf = self._grad_buf
+            if buf is not None and buf.shape == grad.shape:
+                # Flat-arena fast path: land the gradient in the optimiser's
+                # preallocated view (same values as the astype copy below).
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
+        elif self.grad is self._grad_buf:
+            # In-place accumulation is bit-identical to ``grad + grad`` and
+            # keeps the arena view bound.
+            np.add(self.grad, grad, out=self.grad)
+        else:
+            self.grad = self.grad + grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient the caller hands over outright.
+
+        Same values as :meth:`_accumulate`, but the first arrival adopts
+        ``grad`` without the defensive copy.  Only the fused kernels call
+        this, for arrays they freshly allocated (never a view of a live
+        array) and no longer touch — intermediate tensors receive ~40
+        first-arrivals per training step, so eliding those copies is a
+        measurable win.
+        """
+        if self.grad is None:
+            buf = self._grad_buf
+            if buf is not None and buf.shape == grad.shape:
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = grad
+        elif self.grad is self._grad_buf:
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
 
@@ -181,6 +226,15 @@ class Tensor:
             gradient = np.broadcast_to(gradient, self.data.shape).copy()
 
         # Reverse topological order over the graph reachable from self.
+        # NOTE: the *specific* post-order produced by this DFS (parents
+        # pushed in declaration order, explored LIFO) is part of the
+        # numeric contract: it fixes the arrival order of gradient
+        # contributions into shared tensors, and floating-point addition
+        # is not associative.  The fused kernels in :mod:`repro.nn.fused`
+        # collapse single-input chains, which provably occupy a contiguous
+        # run of this post-order, so fusing them does not reorder any
+        # other node's firing slot.  Leaf tensors never fire, so they are
+        # not collected.
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -192,14 +246,15 @@ class Tensor:
             if id(node) in visited:
                 continue
             visited.add(id(node))
-            stack.append((node, True))
+            if node._backward is not None:
+                stack.append((node, True))
             for parent in node._parents:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
         self._accumulate(gradient)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
+            if node.grad is not None:
                 node._backward(node.grad)
 
     # ------------------------------------------------------------------

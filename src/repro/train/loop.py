@@ -56,13 +56,19 @@ class StepContext:
         self._specs = specs
 
     def apply(self, loss, name: str = "main"):
-        """zero_grad -> backward -> clip -> step on the named optimiser."""
+        """zero_grad -> backward -> clip -> step on the named optimiser.
+
+        Clipping goes through the optimiser's arena-aware method: same
+        per-parameter norm reductions as :func:`repro.nn.clip_grad_norm`
+        (the optimiser holds ``spec.params`` in the same order), but the
+        rescale collapses to one whole-arena multiply on the fast path.
+        """
         opt = self._optimizers[name]
         spec = self._specs[name]
         opt.zero_grad()
         loss.backward()
         if spec.grad_clip is not None:
-            nn.clip_grad_norm(spec.params, spec.grad_clip)
+            opt.clip_grad_norm(spec.grad_clip)
         opt.step()
         return loss
 

@@ -75,15 +75,47 @@ class TestLabelIdentity:
         uncached = ExhaustiveOracle(problem, cache_size=0).solve(inputs)
         _assert_same_labels(cached, uncached)
 
-    def test_keep_grid_bypasses_cache_but_agrees(self, problem, rng):
+    def test_keep_grid_bypasses_cache_read_but_agrees(self, problem, rng):
+        """keep_grid always recomputes (grids are never cached), yet its
+        labels agree with the cached path and traffic is still counted."""
         oracle = ExhaustiveOracle(problem)
         inputs = problem.sample_inputs(10, rng)
         cached = oracle.solve(inputs)
         info_before = oracle.cache_info()
         with_grid = oracle.solve(inputs, keep_grid=True)
         assert with_grid.cost_grid is not None
-        assert oracle.cache_info() == info_before
+        info_after = oracle.cache_info()
+        assert info_after.hits == info_before.hits + len(inputs)
+        assert info_after.misses == info_before.misses
         _assert_same_labels(cached, with_grid)
+
+    def test_keep_grid_warms_cache_for_label_traffic(self, problem, rng):
+        """A grid-producing sweep records its labels, so subsequent
+        label-only serving traffic over the same rows is all hits."""
+        oracle = ExhaustiveOracle(problem)
+        inputs = np.unique(problem.sample_inputs(40, rng), axis=0)
+        gridded = oracle.solve(inputs, keep_grid=True)
+        info = oracle.cache_info()
+        assert info.misses == len(inputs)
+        assert info.size == len(inputs)
+
+        served = oracle.solve(inputs)
+        info = oracle.cache_info()
+        assert info.hits == len(inputs)
+        assert info.misses == len(inputs)       # no new misses
+        _assert_same_labels(gridded, served)
+
+    def test_keep_grid_respects_capacity_and_disabled_cache(self, problem, rng):
+        inputs = np.unique(problem.sample_inputs(30, rng), axis=0)[:12]
+        bounded = ExhaustiveOracle(problem, cache_size=4)
+        bounded.solve(inputs, keep_grid=True)
+        assert bounded.cache_info().size == 4
+
+        disabled = ExhaustiveOracle(problem, cache_size=0)
+        result = disabled.solve(inputs, keep_grid=True)
+        assert result.cost_grid is not None
+        assert disabled.cache_info().size == 0
+        assert disabled.cache_info().misses == 0
 
     def test_lru_evicts_oldest_but_stays_correct(self, problem, rng):
         oracle = ExhaustiveOracle(problem, cache_size=8)

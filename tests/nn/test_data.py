@@ -74,6 +74,77 @@ class TestDataLoader:
             nn.DataLoader(nn.ArrayDataset(np.arange(4)), 0)
 
 
+class TestDataLoaderFastPath:
+    """The zero-copy batch path: identical batches, loud on mutation."""
+
+    def _batches(self, fast, seed=123, n=37, bs=8, shuffle=True,
+                 drop_last=False):
+        ds = nn.ArrayDataset(np.arange(n, dtype=np.float64),
+                             np.arange(n) * 2.0)
+        loader = nn.DataLoader(ds, bs, shuffle=shuffle,
+                               rng=np.random.default_rng(seed),
+                               drop_last=drop_last, fast=fast)
+        return [tuple(np.array(a, copy=True) for a in b) for b in loader]
+
+    @pytest.mark.parametrize("shuffle", [True, False])
+    @pytest.mark.parametrize("drop_last", [True, False])
+    def test_same_seed_same_batches_either_path(self, shuffle, drop_last):
+        slow = self._batches(False, shuffle=shuffle, drop_last=drop_last)
+        fast = self._batches(True, shuffle=shuffle, drop_last=drop_last)
+        assert len(slow) == len(fast)
+        for sb, fb in zip(slow, fast):
+            for sa, fa in zip(sb, fb):
+                np.testing.assert_array_equal(fa, sa)
+
+    def test_same_seed_same_order_across_epochs(self):
+        """Both paths consume the rng identically, epoch after epoch."""
+        ds = nn.ArrayDataset(np.arange(20, dtype=np.float64))
+        epochs_of = {}
+        for fast in (False, True):
+            loader = nn.DataLoader(ds, 6, shuffle=True,
+                                   rng=np.random.default_rng(7), fast=fast)
+            epochs_of[fast] = [[b[0].copy() for b in loader]
+                               for _ in range(3)]
+        for slow_epoch, fast_epoch in zip(epochs_of[False], epochs_of[True]):
+            for sb, fb in zip(slow_epoch, fast_epoch):
+                np.testing.assert_array_equal(fb, sb)
+
+    def test_fast_batches_are_readonly(self):
+        ds = nn.ArrayDataset(np.arange(10, dtype=np.float64))
+        loader = nn.DataLoader(ds, 4, fast=True)
+        (batch,) = next(iter(loader))
+        with pytest.raises(ValueError):
+            batch[0] = 99.0
+
+    def test_mutation_cannot_corrupt_dataset(self):
+        """Even on the no-copy path the dataset's arrays stay pristine."""
+        data = np.arange(10, dtype=np.float64)
+        ds = nn.ArrayDataset(data)
+        loader = nn.DataLoader(ds, 4, fast=True)
+        for (batch,) in loader:
+            with pytest.raises(ValueError):
+                batch += 1.0
+        np.testing.assert_array_equal(ds.arrays[0], np.arange(10))
+
+    def test_slow_path_batches_stay_writable(self):
+        """fast=False preserves the historical copy-per-batch contract."""
+        ds = nn.ArrayDataset(np.arange(10, dtype=np.float64))
+        loader = nn.DataLoader(ds, 4, fast=False)
+        (batch,) = next(iter(loader))
+        batch[0] = 99.0  # a copy — mutating it must not touch the dataset
+        np.testing.assert_array_equal(ds.arrays[0], np.arange(10))
+
+    def test_default_follows_global_switch(self):
+        ds = nn.ArrayDataset(np.arange(8, dtype=np.float64))
+        loader = nn.DataLoader(ds, 4)  # fast=None -> fused_enabled()
+        with nn.fused_kernels(True):
+            (batch,) = next(iter(loader))
+            assert not batch.flags.writeable
+        with nn.fused_kernels(False):
+            (batch,) = next(iter(loader))
+            assert batch.flags.writeable
+
+
 class TestSplit:
     def test_fraction_respected(self, rng):
         ds = nn.ArrayDataset(np.arange(100))
