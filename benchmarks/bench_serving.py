@@ -14,6 +14,11 @@ Run standalone to record the perf trajectory::
 or under pytest (the test is marked ``slow``)::
 
     pytest benchmarks/bench_serving.py --benchmark-only -m slow -s
+
+``--smoke`` runs a seconds-long configuration for CI that only asserts
+the batcher beats the per-request loop at all (and predictions stay
+identical), so serving-throughput regressions fail PRs instead of
+releases.
 """
 
 from __future__ import annotations
@@ -115,6 +120,14 @@ def run_bench(clients: int = 16, requests_per_client: int = 64,
             "speedup_target": SPEEDUP_TARGET}
 
 
+def run_smoke() -> dict:
+    """Seconds-long CI configuration: asserts direction, not magnitude."""
+    result = run_bench(clients=8, requests_per_client=12)
+    result["smoke"] = True
+    result["speedup_target"] = 1.0
+    return result
+
+
 @pytest.mark.slow
 def test_dynamic_batcher_beats_per_request_loop(benchmark):
     """>= 3x concurrent-client throughput with identical predictions."""
@@ -131,15 +144,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch-size", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long CI mode: only asserts the "
+                             "batcher beats the per-request loop at all")
     parser.add_argument("--output", default=None,
                         help="also write the JSON record to this path "
                              "(e.g. BENCH_serving.json)")
     args = parser.parse_args(argv)
 
-    result = run_bench(clients=args.clients,
-                       requests_per_client=args.requests_per_client,
-                       max_batch_size=args.max_batch_size,
-                       max_wait_ms=args.max_wait_ms, seed=args.seed)
+    if args.smoke:
+        result = run_smoke()
+    else:
+        result = run_bench(clients=args.clients,
+                           requests_per_client=args.requests_per_client,
+                           max_batch_size=args.max_batch_size,
+                           max_wait_ms=args.max_wait_ms, seed=args.seed)
     text = json.dumps(result, indent=2)
     print(text)
     if args.output:
@@ -149,9 +168,9 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: served predictions diverge from DSEPredictor",
               file=sys.stderr)
         return 1
-    if result["speedup"] < SPEEDUP_TARGET:
+    if result["speedup"] < result["speedup_target"]:
         print(f"FAIL: speedup {result['speedup']:.2f}x < "
-              f"{SPEEDUP_TARGET:.0f}x target", file=sys.stderr)
+              f"{result['speedup_target']:.1f}x target", file=sys.stderr)
         return 1
     return 0
 

@@ -16,9 +16,17 @@ Examples::
     python -m repro serve --port 8080 --max-batch-size 64 --max-wait-ms 2 \\
         --oracle-cache .repro_cache/oracle_cache.npz
 
+    # Multi-model serving from a model registry (routes by the request's
+    # "model" field; streaming bulk sweeps via POST /sweep):
+    python -m repro serve --registry .repro_cache --sweep-workers 4
+    python -m repro predict --registry .repro_cache \\
+        --model-id v2_small_s0 --random 100 --batch
+
     # Unified training engine: parallel oracle labelling, resumable
-    # checkpoints (Ctrl-C mid-run, re-run the same command to resume):
+    # checkpoints (Ctrl-C mid-run, re-run the same command to resume);
+    # --registry registers the trained model as a servable artifact:
     python -m repro train --model v2 --scale small --workers 4
+    python -m repro train --smoke --registry .repro_cache
     python -m repro train --smoke --json      # CI fast path
 """
 
@@ -107,6 +115,13 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", default=None,
                         help="training-cache directory (default: "
                              "$REPRO_CACHE or .repro_cache)")
+    parser.add_argument("--registry", metavar="DIR", default=None,
+                        help="model-registry directory: load the model "
+                             "named by --model-id instead of the "
+                             "train-or-load workspace path")
+    parser.add_argument("--model-id", metavar="ID", default=None,
+                        help="registry artifact id (with --registry; "
+                             "'repro serve' accepts a comma-separated list)")
     parser.add_argument("--untrained", action="store_true",
                         help="skip training and use a freshly initialised "
                              "model (smoke tests / throughput checks)")
@@ -114,8 +129,33 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
                         help="RNG seed for --random and --untrained")
 
 
+def _check_model_args(parser: argparse.ArgumentParser, args,
+                      require_model_id: bool = True) -> None:
+    """Reject inconsistent --registry/--model-id/--untrained combinations."""
+    if args.registry and args.untrained:
+        parser.error("--registry and --untrained are mutually exclusive")
+    if args.model_id and not args.registry:
+        parser.error("--model-id needs --registry")
+    if require_model_id and args.registry and not args.model_id:
+        parser.error("--registry needs --model-id (which artifact to load)")
+
+
 def _build_model(args, problem):
-    """Train/load the model the way ``repro predict`` always has."""
+    """Resolve the model: registry artifact, fresh init, or train-or-load."""
+    if getattr(args, "registry", None):
+        from .registry import ModelRegistry, RegistryError
+        # RegistryError (missing id, no manifest, unknown kind) is caught
+        # by the caller and reported as a clean CLI error.
+        registry = ModelRegistry(args.registry)
+        model = registry.load(args.model_id, problem=problem)
+        if not hasattr(model, "predict_indices"):
+            raise RegistryError(
+                f"artifact {args.model_id!r} (kind "
+                f"{registry.artifact(args.model_id).kind!r}) has no "
+                f"one-shot inference path (e.g. VAESA infers via "
+                f"latent-space search); pick a v2/v1/gandse artifact")
+        return model
+
     from .experiments.common import get_datasets, get_v2
     from .experiments.harness import get_scale
 
@@ -158,6 +198,7 @@ def predict_main(argv: list[str] | None = None) -> int:
         parser.error("--micro-batch must be >= 1")
     if args.random is not None and args.random < 1:
         parser.error("--random must be >= 1")
+    _check_model_args(parser, args)
 
     problem = get_problem()
     if args.random is not None:
@@ -179,7 +220,12 @@ def predict_main(argv: list[str] | None = None) -> int:
             print(f"repro predict: error: {exc}", file=sys.stderr)
             return 2
 
-    model = _build_model(args, problem)
+    from .registry import RegistryError
+    try:
+        model = _build_model(args, problem)
+    except RegistryError as exc:
+        print(f"repro predict: error: {exc}", file=sys.stderr)
+        return 2
     if args.random is None:
         m, n, k = problem.clamp_inputs(inputs[:, 0], inputs[:, 1], inputs[:, 2])
         clamped = np.stack([m, n, k, inputs[:, 3]], axis=1)
@@ -265,9 +311,18 @@ def train_main(argv: list[str] | None = None) -> int:
                         help="training-cache directory (default: "
                              "$REPRO_CACHE or .repro_cache); datasets, "
                              "checkpoints and the final model live here")
+    parser.add_argument("--registry", metavar="DIR", default=None,
+                        help="also register the trained model as an "
+                             "artifact in this registry directory "
+                             "(servable via 'repro serve --registry')")
+    parser.add_argument("--model-id", metavar="ID", default=None,
+                        help="artifact id for --registry (default "
+                             "<model>_<scale>_s<seed>)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.model_id and not args.registry:
+        parser.error("--model-id needs --registry")
 
     scale = get_scale(args.scale if args.scale or not args.smoke else "tiny")
     workspace = Workspace(args.cache)
@@ -330,6 +385,22 @@ def train_main(argv: list[str] | None = None) -> int:
                "accuracy": metrics.accuracy if metrics else None,
                "pe_accuracy": metrics.pe_accuracy if metrics else None,
                "l2_accuracy": metrics.l2_accuracy if metrics else None}
+
+    if args.registry:
+        from .registry import ModelRegistry
+        model_id = args.model_id or f"{args.model}_{scale.name}_s{scale.seed}"
+        artifact = ModelRegistry(args.registry).save(
+            model, model_id, scale=scale.name,
+            fingerprint={"model": args.model, "scale": scale.name,
+                         "seed": int(scale.seed),
+                         "train_samples": len(train_set),
+                         "label_workers": args.workers},
+            metrics={key: summary[key] for key in
+                     ("accuracy", "pe_accuracy", "l2_accuracy")
+                     if summary[key] is not None} or None)
+        summary["registry"] = {"root": args.registry,
+                               "model_id": artifact.model_id}
+
     if args.json:
         json.dump(summary, sys.stdout, indent=2)
         print()
@@ -350,6 +421,9 @@ def train_main(argv: list[str] | None = None) -> int:
             print(f"test accuracy {metrics.accuracy:.3f} "
                   f"(pe {metrics.pe_accuracy:.3f}, "
                   f"l2 {metrics.l2_accuracy:.3f})")
+        if args.registry:
+            print(f"registered artifact "
+                  f"{summary['registry']['model_id']!r} in {args.registry}")
     return 0
 
 
@@ -362,8 +436,9 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description="Serve one-shot DSE predictions over HTTP with dynamic "
-                    "request batching (POST /predict, GET /healthz, "
-                    "GET /stats).")
+                    "request batching and multi-model routing "
+                    "(POST /predict, POST /sweep [streaming NDJSON], "
+                    "GET /models, GET /healthz, GET /stats).")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8080,
@@ -381,6 +456,17 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="persistent oracle label-cache snapshot: loaded "
                              "at startup (fingerprint-checked), saved on "
                              "shutdown")
+    parser.add_argument("--default-model", metavar="NAME", default=None,
+                        help="route served when a request has no 'model' "
+                             "field (with --registry; default: first "
+                             "artifact)")
+    parser.add_argument("--max-models", type=int, default=None,
+                        help="cap on resident registry models; the least-"
+                             "recently-served is evicted beyond this")
+    parser.add_argument("--sweep-workers", type=int, default=None,
+                        help="run /sweep chunks through an autoscaled "
+                             "sharded executor with up to this many worker "
+                             "processes (default: in-process)")
     parser.add_argument("--log-requests", action="store_true",
                         help="log every HTTP request to stderr")
     _add_model_args(parser)
@@ -389,9 +475,11 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--max-batch-size must be >= 1")
     if args.max_wait_ms < 0:
         parser.error("--max-wait-ms must be >= 0")
+    if args.max_models is not None and args.max_models < 1:
+        parser.error("--max-models must be >= 1")
+    _check_model_args(parser, args, require_model_id=False)
 
     problem = get_problem()
-    model = _build_model(args, problem)
     oracle = ExhaustiveOracle(problem)
     cache = PersistentOracleCache(args.oracle_cache) \
         if args.oracle_cache else None
@@ -401,11 +489,31 @@ def serve_main(argv: list[str] | None = None) -> int:
             print(f"oracle cache: warmed {loaded} entries from {cache.path}",
                   file=sys.stderr)
 
-    server = DSEServer(model, host=args.host, port=args.port,
-                       max_batch_size=args.max_batch_size,
-                       max_wait_ms=args.max_wait_ms,
-                       micro_batch_size=args.micro_batch, oracle=oracle,
-                       log_requests=args.log_requests)
+    common = dict(host=args.host, port=args.port,
+                  max_batch_size=args.max_batch_size,
+                  max_wait_ms=args.max_wait_ms,
+                  micro_batch_size=args.micro_batch, oracle=oracle,
+                  max_models=args.max_models,
+                  sweep_workers=args.sweep_workers,
+                  log_requests=args.log_requests)
+    from .registry import RegistryError
+    try:
+        if args.registry:
+            # Multi-model mode: every (or the --model-id listed) artifact
+            # in the registry becomes a servable route.
+            model_ids = args.model_id.split(",") if args.model_id else None
+            server = DSEServer(registry=args.registry, model_ids=model_ids,
+                               default_model=args.default_model, **common)
+            served = model_ids or [a.model_id
+                                   for a in server.registry.list()]
+            print(f"serving {len(served)} registry model(s) from "
+                  f"{args.registry}: {', '.join(sorted(served))} "
+                  f"(default {server.default_model!r})", file=sys.stderr)
+        else:
+            server = DSEServer(_build_model(args, problem), **common)
+    except (RegistryError, ValueError) as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
     host, port = server.address
     print(f"serving one-shot DSE predictions on http://{host}:{port} "
           f"(max_batch_size={args.max_batch_size}, "

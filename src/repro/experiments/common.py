@@ -21,7 +21,6 @@ from ..core import (AirchitectV2, Stage1Config, Stage1Trainer, Stage2Config,
                     Stage2Trainer)
 from ..dse import (DSEDataset, DSEProblem, ExhaustiveOracle,
                    generate_workload_dataset)
-from ..nn import load_module, save_module
 from ..workloads import all_training_layers
 from .harness import ExperimentScale, Workspace, get_scale
 
@@ -75,23 +74,32 @@ def stage_configs(scale, use_contrastive: bool = True,
 
 def _cached_model(workspace: Workspace, scale: ExperimentScale, tag: str,
                   build, train):
-    """Generic build-or-load: ``build()`` makes the module,
-    ``train(model, checkpoint)`` fits it (only when no cache exists).
+    """Generic build-or-load through the workspace's model registry:
+    ``build()`` makes the module, ``train(model, checkpoint)`` fits it
+    (only when no artifact exists).
+
+    The fitted model is registered as a manifested artifact (kind,
+    config, scale + seed fingerprint), so ``repro serve --registry``
+    can discover and route to it; pre-registry workspace caches (plain
+    ``save_module`` archives at the same path) still load bit-identically.
 
     ``checkpoint`` is a workspace path stem the trainer may checkpoint
     into (``<stem>_<stage>.npz``); an interrupted fit resumes from it on
     the next call, and all ``<stem>*`` files are removed once the final
     model is cached.
     """
-    path = workspace.model_key(scale, tag)
+    registry = workspace.registry
+    model_id = workspace.model_id(scale, tag)
     model = build()
-    if workspace.has(path):
-        load_module(model, path)
+    if registry.has(model_id):
+        registry.load_into(model_id, model)
         model.eval()
         return model
     checkpoint = workspace.checkpoint_key(scale, tag)
     train(model, checkpoint)
-    save_module(model, path)
+    registry.save(model, model_id, scale=scale.name,
+                  fingerprint={"scale": scale.name, "seed": int(scale.seed),
+                               "tag": tag})
     for stale in checkpoint.parent.glob(checkpoint.name + "*"):
         stale.unlink()
     return model

@@ -41,22 +41,23 @@ def run_fig8b(scale=None, workspace: Workspace | None = None,
     rows = []
     for k in sweep:
         tag = f"v2_uov_sweepk{k}"
-        path = workspace.model_key(scale, tag)
+        registry = workspace.registry
+        model_id = workspace.model_id(scale, tag)
         rng = np.random.default_rng(scale.seed + 17)
         head_style = "regression" if k == 1 else "uov"
         model = AirchitectV2(scale.model_config(head_style=head_style,
                                                 num_buckets=max(k, 1)),
                              problem, rng)
         model.encoder.load_state_dict(encoder_state)
-        if workspace.has(path):
-            from ..nn import load_module
-            load_module(model, path)
+        if registry.has(model_id):
+            registry.load_into(model_id, model)
             model.eval()
         else:
             _, s2 = stage_configs(scale)
             Stage2Trainer(model, s2).train(train)
-            from ..nn import save_module
-            save_module(model, path)
+            registry.save(model, model_id, scale=scale.name,
+                          fingerprint={"scale": scale.name,
+                                       "seed": int(scale.seed), "tag": tag})
 
         metrics = evaluate_model(model, test, oracle=oracle)
         head_params = model.head_parameter_count()

@@ -101,12 +101,24 @@ class Workspace:
     """Disk cache for datasets and trained models, keyed by scale + seed.
 
     The root defaults to ``$REPRO_CACHE`` or ``.repro_cache`` under the
-    current directory.
+    current directory.  Trained models persist through the workspace's
+    :attr:`registry` (a :class:`~repro.registry.ModelRegistry` rooted at
+    the cache directory), so every cached model is a self-describing
+    artifact discoverable by ``repro serve --registry``.
     """
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = Path(root or os.environ.get("REPRO_CACHE", ".repro_cache"))
         self.root.mkdir(parents=True, exist_ok=True)
+        self._registry = None
+
+    @property
+    def registry(self):
+        """The workspace's model registry (created lazily)."""
+        if self._registry is None:
+            from ..registry import ModelRegistry
+            self._registry = ModelRegistry(self.root)
+        return self._registry
 
     def path(self, *parts: str) -> Path:
         p = self.root.joinpath(*parts)
@@ -118,6 +130,15 @@ class Workspace:
 
     def model_key(self, scale: ExperimentScale, tag: str) -> Path:
         return self.path(f"{scale.name}_s{scale.seed}", f"model_{tag}.npz")
+
+    def model_id(self, scale: ExperimentScale, tag: str) -> str:
+        """The registry id for a cached model (same file as ``model_key``).
+
+        Pre-registry workspaces keep working: the id resolves to the path
+        the old ``save_module`` cache used, and the registry loads
+        manifest-less archives bit-identically.
+        """
+        return f"{scale.name}_s{scale.seed}/model_{tag}"
 
     def checkpoint_key(self, scale: ExperimentScale, tag: str) -> Path:
         """Path *stem* for in-flight training checkpoints of a model.

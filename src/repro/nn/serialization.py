@@ -1,35 +1,39 @@
-"""Model persistence: save/load ``Module`` state dicts as ``.npz`` archives."""
+"""Model persistence: save/load ``Module`` state dicts as ``.npz`` archives.
+
+Both functions are thin wrappers over the unified artifact layer
+(:mod:`repro.registry.storage`): saves are atomic (temp file +
+``os.replace``), and loads transparently accept registry artifacts — the
+embedded JSON manifest key is stripped before the strict
+``load_state_dict`` check — as well as plain pre-registry archives.
+"""
 
 from __future__ import annotations
 
 import os
 
-import numpy as np
-
+from ..registry.storage import atomic_savez, read_state
 from .module import Module
 
 __all__ = ["save_module", "load_module"]
 
 
 def save_module(module: Module, path: str | os.PathLike) -> None:
-    """Write the module's parameters to ``path`` (``.npz`` appended if absent).
+    """Atomically write the module's parameters to ``path`` (``.npz``
+    appended if absent).
 
-    Dotted parameter names are preserved as archive keys.
+    Dotted parameter names are preserved as archive keys.  An interrupt
+    mid-save leaves any existing archive at ``path`` intact.
     """
-    state = module.state_dict()
-    np.savez(path, **state)
+    atomic_savez(path, module.state_dict())
 
 
 def load_module(module: Module, path: str | os.PathLike) -> Module:
     """Load parameters saved with :func:`save_module` into ``module``.
 
-    The module must already have the right architecture; keys and shapes are
-    checked strictly by ``Module.load_state_dict``.
+    The module must already have the right architecture; keys and shapes
+    are checked strictly by ``Module.load_state_dict``.  Registry
+    artifacts (which carry an embedded manifest) load the same way —
+    only the state arrays reach the module.
     """
-    path = str(path)
-    if not path.endswith(".npz"):
-        path = path + ".npz"
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(read_state(path))
     return module

@@ -1,0 +1,23 @@
+"""``repro.registry`` — the unified model-artifact layer.
+
+One atomic ``.npz`` + embedded-JSON-manifest format, one
+:class:`ModelRegistry` for saving/discovering/loading models everywhere:
+``save_module``/``load_module``, training checkpoints, the experiment
+workspace cache, the CLI (``--registry``/``--model-id``) and the
+multi-model serving stack all persist through this package.
+
+:func:`atomic_savez` is the shared temp-file + ``os.replace`` writer used
+by every ``.npz`` producer in the repo.
+"""
+
+from .registry import (ModelArtifact, ModelRegistry, RegistryError,
+                       model_kind, register_builder)
+from .storage import (MANIFEST_KEY, atomic_savez, read_manifest, read_state,
+                      write_artifact)
+
+__all__ = [
+    "ModelArtifact", "ModelRegistry", "RegistryError",
+    "model_kind", "register_builder",
+    "MANIFEST_KEY", "atomic_savez", "read_manifest", "read_state",
+    "write_artifact",
+]

@@ -1,0 +1,96 @@
+"""Atomic ``.npz`` artifact I/O shared by every persistence layer.
+
+All writers in the repo — model artifacts, ``save_module``, training
+checkpoints, the persistent oracle cache — funnel through
+:func:`atomic_savez`: the archive is written to a temp file next to the
+destination and ``os.replace``-d into place, so an interrupt mid-save
+(Ctrl-C, OOM kill, disk full) leaves the previous file intact instead of
+a torn archive.
+
+A *model artifact* is one such archive holding a module's ``state_dict``
+arrays plus a JSON manifest under the reserved :data:`MANIFEST_KEY`
+(config, scale, training fingerprint, metrics — see
+:mod:`repro.registry.registry`).  Plain state-only archives written by
+older code have no manifest key; :func:`read_manifest` returns ``None``
+for them and :func:`read_state` serves them unchanged, so pre-registry
+``.npz`` files keep loading bit-identically.
+
+This module deliberately imports nothing from ``repro`` so the low-level
+``repro.nn`` stack can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["MANIFEST_KEY", "atomic_savez", "write_artifact", "read_manifest",
+           "read_state", "normalise_npz_path"]
+
+# Reserved archive key; never a valid dotted parameter name (parameters
+# come from attribute names, which cannot start with "_"-"_" doubles).
+MANIFEST_KEY = "__manifest__"
+
+
+def normalise_npz_path(path: str | os.PathLike) -> str:
+    """Append ``.npz`` when absent (matching ``np.savez``'s behaviour)."""
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def atomic_savez(path: str | os.PathLike, arrays: dict) -> str:
+    """Write ``arrays`` as an ``.npz`` archive atomically; returns the path.
+
+    The archive lands under a temp name in the destination directory
+    (same filesystem, so the final ``os.replace`` is atomic) and is
+    renamed into place only once fully written.  Parent directories are
+    created on demand.  On any failure the destination is untouched and
+    the temp file is removed.
+    """
+    path = normalise_npz_path(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    # The temp name keeps the .npz suffix so np.savez does not append a
+    # second one, and embeds the pid so concurrent writers never collide.
+    tmp = f"{path}.tmp{os.getpid()}.npz"
+    try:
+        np.savez(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - error-path cleanup
+            os.unlink(tmp)
+    return path
+
+
+def write_artifact(path: str | os.PathLike, state: dict,
+                   manifest: dict | None) -> str:
+    """Atomically write a state dict (+ optional embedded manifest)."""
+    arrays = dict(state)
+    if manifest is not None:
+        arrays[MANIFEST_KEY] = np.array(json.dumps(manifest))
+    return atomic_savez(path, arrays)
+
+
+def read_manifest(path: str | os.PathLike) -> dict | None:
+    """The embedded JSON manifest, or ``None`` for plain legacy archives.
+
+    Only the manifest entry is decompressed — ``np.load`` reads archive
+    members lazily, so discovery over a large registry stays cheap.
+    """
+    with np.load(normalise_npz_path(path)) as archive:
+        if MANIFEST_KEY not in archive.files:
+            return None
+        return json.loads(str(archive[MANIFEST_KEY][()]))
+
+
+def read_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """All state arrays from an artifact, manifest key stripped."""
+    with np.load(normalise_npz_path(path)) as archive:
+        return {key: archive[key] for key in archive.files
+                if key != MANIFEST_KEY}

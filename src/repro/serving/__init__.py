@@ -1,4 +1,4 @@
-"""``repro.serving`` — the multi-client DSE serving subsystem.
+"""``repro.serving`` — the multi-model DSE serving subsystem.
 
 Turns the batched inference engine (:class:`repro.core.BatchedDSEPredictor`)
 into a serving stack:
@@ -7,25 +7,30 @@ into a serving stack:
   single-workload requests into engine micro-batches (size-or-deadline
   flush policy, per-request futures);
 * :class:`ShardedSweepExecutor` — split huge sweeps across worker
-  processes and reassemble the shards in order;
+  processes and reassemble the shards in order; with
+  :class:`AutoscalePolicy`, worker count and shard size adapt to sweep
+  size and observed per-worker throughput (decision-traced, results
+  bit-identical to the fixed-shard path);
 * :class:`PersistentOracleCache` — snapshot/restore the oracle's label
   cache across runs, fingerprint-guarded against stale labels;
-* :class:`DSEServer` — a stdlib threaded HTTP front-end
-  (``POST /predict``, ``GET /healthz``, ``GET /stats``) wired through the
-  batcher, with :class:`ServingStats` accounting throughout.
+* :class:`DSEServer` — a stdlib threaded HTTP front-end hosting a
+  :class:`~repro.registry.ModelRegistry` of models as :class:`ModelRoute`
+  entries (``POST /predict`` routed by ``"model"``, streaming
+  ``POST /sweep``, ``GET /models``, ``GET /healthz``, ``GET /stats``)
+  with per-model :class:`ServingStats` accounting throughout.
 
 ``python -m repro serve`` is the CLI entry point.
 """
 
 from .batcher import DynamicBatcher, RequestQueue, ServedPrediction
 from .cache import PersistentOracleCache, StaleCacheWarning
-from .server import DSEServer
-from .sharded import ShardedSweepExecutor
+from .server import DSEServer, ModelRoute
+from .sharded import AutoscaleDecision, AutoscalePolicy, ShardedSweepExecutor
 from .stats import ServingStats
 
 __all__ = [
     "DynamicBatcher", "RequestQueue", "ServedPrediction",
-    "ShardedSweepExecutor",
+    "ShardedSweepExecutor", "AutoscalePolicy", "AutoscaleDecision",
     "PersistentOracleCache", "StaleCacheWarning",
-    "DSEServer", "ServingStats",
+    "DSEServer", "ModelRoute", "ServingStats",
 ]

@@ -21,6 +21,7 @@ from pathlib import Path
 import numpy as np
 
 from ..dse import ExhaustiveOracle
+from ..registry.storage import atomic_savez
 
 __all__ = ["PersistentOracleCache", "StaleCacheWarning"]
 
@@ -54,8 +55,9 @@ class PersistentOracleCache:
     def save(self, oracle: ExhaustiveOracle) -> int:
         """Snapshot the oracle's cache; returns the entry count written.
 
-        Writes atomically (temp file + rename) so a concurrent reader
-        never sees a torn snapshot.
+        Writes through the shared :func:`repro.registry.atomic_savez`
+        (temp file + rename) so a concurrent reader never sees a torn
+        snapshot.
         """
         exported = oracle.export_cache()
         meta = {"format_version": _FORMAT_VERSION,
@@ -64,18 +66,9 @@ class PersistentOracleCache:
                 "metric": oracle.problem.metric,
                 "tolerance": oracle.tolerance,
                 "saved_at": time.time()}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
-        try:
-            np.savez(tmp, meta=np.frombuffer(
-                json.dumps(meta).encode(), dtype=np.uint8), **exported)
-            # np.savez appends .npz to a path without the suffix.
-            produced = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
-            os.replace(produced, self.path)
-        finally:
-            for leftover in (tmp, tmp.with_name(tmp.name + ".npz")):
-                if leftover.exists():  # pragma: no cover - error cleanup
-                    leftover.unlink()
+        atomic_savez(self.path, {
+            "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **exported})
         return meta["entries"]
 
     def read_meta(self) -> dict | None:

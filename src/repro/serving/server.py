@@ -1,53 +1,89 @@
-"""Stdlib HTTP front-end for the dynamic-batching DSE serving stack.
+"""Stdlib HTTP front-end for the multi-model DSE serving stack.
 
 ``python -m repro serve`` runs this server.  It is deliberately plain
 ``http.server`` — no framework dependency — with one thread per
 connection (:class:`ThreadingHTTPServer`); concurrency is harvested by
-the :class:`~repro.serving.DynamicBatcher` behind it, which coalesces the
-per-connection requests into engine micro-batches.
+the per-model :class:`~repro.serving.DynamicBatcher` queues behind it,
+which coalesce the per-connection requests into engine micro-batches.
+
+The server hosts a :class:`~repro.registry.ModelRegistry` rather than a
+single model: every served model is a :class:`ModelRoute` (its own
+engine, batcher queue and :class:`~repro.serving.ServingStats`), created
+eagerly for directly-attached models and lazily — through the registry's
+loaded-model LRU — for registry artifacts the first time a request names
+them.
 
 Endpoints
 ---------
 ``POST /predict``
     Request: ``{"workloads": [{"m": 64, "n": 512, "k": 256,
     "dataflow": 0}, ...]}`` (or a single workload object; ``dataflow``
-    defaults to 0).  Optional ``"with_cost": true`` adds the predicted
+    defaults to 0).  ``"model"`` selects the serving route (the default
+    model otherwise).  Optional ``"with_cost": true`` adds the predicted
     design point's cost-model metric; ``"with_oracle": true`` also
     returns the exact optimum (served from the oracle's — possibly
     persistent — label cache) and the prediction's regret against it.
-    Response: ``{"predictions": [{"m": ..., "num_pes": ..., "l2_kb": ...,
-    "queue_wait_ms": ..., "batch_size": ...}, ...]}``.
+    Response: ``{"model": ..., "predictions": [{"m": ..., "num_pes": ...,
+    "l2_kb": ..., "queue_wait_ms": ..., "batch_size": ...}, ...]}``.
+``POST /sweep``
+    Streaming bulk sweeps: ``{"workloads": [...]}`` or
+    ``{"random": N, "seed": S}`` (server-generated sweep), plus optional
+    ``"model"``, ``"with_cost"`` and ``"chunk_size"``.  The response is
+    chunked ``application/x-ndjson``: a header line, one line per chunk
+    of predictions as soon as it is computed, and a summary line — a
+    million-point sweep starts flowing after the first chunk instead of
+    after the last.  A mid-stream failure appends an ``{"error": ...}``
+    line and closes the connection.  With ``--sweep-workers``, chunks run
+    through an autoscaled :class:`~repro.serving.ShardedSweepExecutor`
+    whose decision trace ``GET /stats`` exposes.
+``GET /models``
+    The registry/route listing: every active route and every discoverable
+    registry artifact, with manifest summaries and load state.
 ``GET /healthz``
     ``{"status": "ok", "uptime_s": ...}`` — liveness probe.
 ``GET /stats``
-    The :class:`~repro.serving.ServingStats` snapshot (requests, batches,
-    mean batch size, queue waits, forward passes, oracle cache hit rate).
+    Aggregate serving counters plus a per-model breakdown (requests,
+    batches, queue waits, forward passes, sweep/chunk counts, autoscale
+    decision traces, oracle cache hit rate).
+
+All error responses are JSON: unknown routes and unknown models are
+``404``, malformed or non-dict bodies are ``400`` — never a traceback.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from ..core import AirchitectV2, BatchedDSEPredictor
 from ..dse import ExhaustiveOracle
+from ..registry import ModelRegistry, RegistryError
 from .batcher import DynamicBatcher
+from .sharded import ShardedSweepExecutor
 from .stats import ServingStats
 
-__all__ = ["DSEServer"]
+__all__ = ["DSEServer", "ModelRoute"]
 
 _MAX_BODY_BYTES = 8 << 20
 _MAX_WORKLOADS_PER_REQUEST = 65536
+_MAX_SWEEP_ROWS = 1 << 20
+_MAX_SWEEP_CHUNK = 65536
 
 
 class _BadRequest(ValueError):
     """Client error: reported as HTTP 400 with the message as detail."""
 
 
-def _parse_workloads(doc) -> list[tuple[int, int, int, int]]:
+class _NotFound(ValueError):
+    """Unknown route or model: reported as HTTP 404."""
+
+
+def _parse_workloads(doc, limit: int = _MAX_WORKLOADS_PER_REQUEST) \
+        -> list[tuple[int, int, int, int]]:
     if isinstance(doc, dict) and "workloads" in doc:
         items = doc["workloads"]
     else:
@@ -57,9 +93,8 @@ def _parse_workloads(doc) -> list[tuple[int, int, int, int]]:
     if not isinstance(items, list) or not items:
         raise _BadRequest("body must be a workload object or a non-empty "
                           "'workloads' list")
-    if len(items) > _MAX_WORKLOADS_PER_REQUEST:
-        raise _BadRequest(f"too many workloads in one request "
-                          f"(max {_MAX_WORKLOADS_PER_REQUEST})")
+    if len(items) > limit:
+        raise _BadRequest(f"too many workloads in one request (max {limit})")
     rows = []
     for i, item in enumerate(items):
         if not isinstance(item, dict):
@@ -72,6 +107,79 @@ def _parse_workloads(doc) -> list[tuple[int, int, int, int]]:
                               f"'k' (and optional 'dataflow'): {exc}") \
                 from None
     return rows
+
+
+def _require_dict(doc, endpoint: str) -> dict:
+    if not isinstance(doc, dict):
+        raise _BadRequest(f"{endpoint} body must be a JSON object, "
+                          f"got {type(doc).__name__}")
+    return doc
+
+
+class ModelRoute:
+    """One served model: engine, dynamic-batcher queue, stats, executor.
+
+    Routes are the unit of multi-model serving: each has its own request
+    queue (so one model's burst never stalls another's latency), its own
+    :class:`ServingStats`, and — when the server runs with sweep
+    workers — its own lazily-created autoscaled sweep executor.
+    """
+
+    def __init__(self, name: str, model: AirchitectV2, *,
+                 max_batch_size: int, max_wait_ms: float,
+                 micro_batch_size: int, source: str = "direct",
+                 sweep_workers: int | None = None):
+        self.name = name
+        self.model = model
+        self.problem = model.problem
+        self.source = source
+        self.sweep_workers = sweep_workers
+        self.stats = ServingStats()
+        self.last_served = time.time()
+        self.engine = BatchedDSEPredictor(
+            model, micro_batch_size=micro_batch_size,
+            on_batch=self.stats.record_forward)
+        self.batcher = DynamicBatcher(self.engine,
+                                      max_batch_size=max_batch_size,
+                                      max_wait_ms=max_wait_ms,
+                                      stats=self.stats, start=False)
+        self._executor: ShardedSweepExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def sweep_engine(self):
+        """What ``/sweep`` chunks run on: the autoscaled sharded executor
+        when the server was configured with sweep workers, the in-process
+        engine otherwise.  Bit-identical predictions either way."""
+        if self.sweep_workers is None or self.sweep_workers <= 1:
+            return self.engine
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ShardedSweepExecutor(
+                    self.model, num_workers=self.sweep_workers,
+                    autoscale=True)
+            return self._executor
+
+    @property
+    def executor(self) -> ShardedSweepExecutor | None:
+        return self._executor
+
+    def start(self) -> None:
+        self.batcher.start()
+
+    def stop(self) -> None:
+        self.batcher.stop()
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
+
+    def stats_snapshot(self) -> dict:
+        doc = self.stats.snapshot()
+        doc["source"] = self.source
+        if self._executor is not None:
+            doc["autoscale"] = list(self._executor.decision_trace)
+        return doc
 
 
 class _ServingHandler(BaseHTTPRequestHandler):
@@ -97,39 +205,102 @@ class _ServingHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _unknown_route(self) -> None:
+        self._send_json(404, {"error": f"unknown route "
+                                       f"{self.command} {self.path!r}"})
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         dse = self.server.dse
         if self.path == "/healthz":
             self._send_json(200, {"status": "ok",
-                                  "uptime_s": dse.stats.snapshot()["uptime_s"]})
+                                  "uptime_s": time.time() - dse.started_at})
         elif self.path == "/stats":
-            self._send_json(200, dse.stats.snapshot())
+            self._send_json(200, dse.stats_snapshot())
+        elif self.path == "/models":
+            self._send_json(200, dse.models_snapshot())
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._unknown_route()
+
+    def do_PUT(self) -> None:
+        self._unknown_route()   # 404s close the connection, so the unread
+                                # body can never desync a next request
+
+    def do_DELETE(self) -> None:
+        self._unknown_route()
+
+    def _read_body(self, max_bytes: int = _MAX_BODY_BYTES):
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise _BadRequest("invalid Content-Length header") from None
+        if length <= 0 or length > max_bytes:
+            raise _BadRequest(f"Content-Length required (max {max_bytes} "
+                              f"bytes)")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON: {exc}") from None
 
     def do_POST(self) -> None:
-        if self.path != "/predict":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        dse = self.server.dse
+        if self.path not in ("/predict", "/sweep"):
+            self._unknown_route()
             return
         try:
-            try:
-                length = int(self.headers.get("Content-Length", 0))
-            except (TypeError, ValueError):
-                raise _BadRequest("invalid Content-Length header") from None
-            if length <= 0 or length > _MAX_BODY_BYTES:
-                raise _BadRequest("Content-Length required "
-                                  f"(max {_MAX_BODY_BYTES} bytes)")
-            try:
-                doc = json.loads(self.rfile.read(length))
-            except json.JSONDecodeError as exc:
-                raise _BadRequest(f"invalid JSON: {exc}") from None
-            self._send_json(200, self.server.dse.handle_predict(doc))
+            doc = self._read_body()
+            if self.path == "/predict":
+                self._send_json(200, dse.handle_predict(doc))
+            else:
+                self._stream_ndjson(dse.prepare_sweep(doc))
+        except ConnectionError:    # client gone; nobody to answer
+            self.close_connection = True
+        except _NotFound as exc:
+            self._send_json(404, {"error": str(exc)})
         except _BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive 500 path
-            self.server.dse.stats.record_error()
+            dse.record_error()
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    def _write_chunk(self, doc: dict) -> None:
+        data = json.dumps(doc).encode() + b"\n"
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+    def _stream_ndjson(self, lines) -> None:
+        """Send an iterator of JSON docs as a chunked NDJSON response.
+
+        Each document is one ndjson line in its own HTTP chunk, flushed
+        as soon as it is produced — the client sees chunk K while the
+        server computes chunk K+1.  Validation errors raise *before*
+        streaming starts (the caller turns them into 400/404); a failure
+        mid-stream appends an ``{"error": ...}`` line and drops the
+        connection, which clients detect as a truncated stream.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for doc in lines:
+                self._write_chunk(doc)
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except ConnectionError:
+            # The client hung up mid-stream — routine for streaming
+            # sweeps (read a few chunks, stop).  Nothing to send and
+            # nobody to send it to; just drop the connection quietly.
+            self.close_connection = True
+        except Exception as exc:   # pragma: no cover - mid-stream failure
+            self.server.dse.record_error()
+            try:
+                self._write_chunk({"error": f"{type(exc).__name__}: {exc}"})
+                self.wfile.write(b"0\r\n\r\n")
+            except ConnectionError:
+                pass
+            self.close_connection = True
 
 
 class _ServingHTTPServer(ThreadingHTTPServer):
@@ -141,43 +312,91 @@ class _ServingHTTPServer(ThreadingHTTPServer):
 
 
 class DSEServer:
-    """The full serving stack: engine -> batcher -> threaded HTTP server.
+    """The full serving stack: registry -> routes -> threaded HTTP server.
 
     Parameters
     ----------
     model:
-        A (trained) :class:`AirchitectV2`.
+        A (trained) :class:`AirchitectV2` served as the ``default_model``
+        route.  Optional when ``registry`` is given.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (see
         :attr:`address` for the bound one — tests rely on this).
     max_batch_size / max_wait_ms:
-        The batcher's flush policy (see :class:`DynamicBatcher`).
+        Every route's batcher flush policy (see :class:`DynamicBatcher`).
     oracle:
         Optional shared :class:`ExhaustiveOracle` for ``with_cost``
         requests and the ``/stats`` cache-hit-rate line; created lazily
-        when a request first needs one.
+        when a request first needs one.  One oracle serves every route
+        (all models share the canonical Table-I problem).
+    registry:
+        A :class:`~repro.registry.ModelRegistry` (or a path to one) whose
+        artifacts become servable routes: ``POST /predict`` with
+        ``"model": "<id>"`` loads the artifact on first use through the
+        registry's LRU.
+    model_ids:
+        Restrict registry serving to these ids (default: every
+        manifested artifact is servable).
+    default_model:
+        Route name served when a request has no ``"model"`` field.
+        Defaults to the directly-attached model, else the first of
+        ``model_ids``, else the registry's first artifact.
+    max_models:
+        Cap on concurrently-active *registry* routes; the
+        least-recently-served one is stopped and evicted beyond this.
+        Directly-attached models are never evicted.
+    sweep_workers:
+        Give each route an autoscaled :class:`ShardedSweepExecutor` with
+        this many max workers for ``POST /sweep`` chunks (default: sweep
+        in-process).
     """
 
-    def __init__(self, model: AirchitectV2, host: str = "127.0.0.1",
-                 port: int = 0, max_batch_size: int = 64,
-                 max_wait_ms: float = 2.0, micro_batch_size: int | None = None,
+    def __init__(self, model: AirchitectV2 | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                 micro_batch_size: int | None = None,
                  oracle: ExhaustiveOracle | None = None,
                  request_timeout_s: float = 60.0,
-                 log_requests: bool = False):
-        self.model = model
-        self.problem = model.problem
+                 log_requests: bool = False,
+                 registry: ModelRegistry | str | None = None,
+                 model_ids: list[str] | None = None,
+                 default_model: str | None = None,
+                 max_models: int | None = None,
+                 sweep_workers: int | None = None):
+        if model is None and registry is None:
+            raise ValueError("DSEServer needs a model or a registry")
+        if isinstance(registry, (str, bytes)) or hasattr(registry, "__fspath__"):
+            registry = ModelRegistry(registry)
+        self.registry = registry
         self.oracle = oracle
         self._oracle_lock = threading.Lock()
         self.request_timeout_s = request_timeout_s
         self.log_requests = log_requests
-        self.stats = ServingStats(oracle=oracle)
-        engine = BatchedDSEPredictor(
-            model,
-            micro_batch_size=micro_batch_size or max(max_batch_size, 1024),
-            on_batch=self.stats.record_forward)
-        self.batcher = DynamicBatcher(engine, max_batch_size=max_batch_size,
-                                      max_wait_ms=max_wait_ms,
-                                      stats=self.stats, start=False)
+        self.started_at = time.time()
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.micro_batch_size = micro_batch_size or max(max_batch_size, 1024)
+        self.max_models = max_models
+        self.sweep_workers = sweep_workers
+        self._model_ids = list(model_ids) if model_ids is not None else None
+        self._errors = ServingStats()   # routing/transport-level failures
+        self.routes: dict[str, ModelRoute] = {}
+        self._route_lock = threading.RLock()
+        self._running = False
+
+        if model is not None:
+            name = default_model or "default"
+            self.add_model(name, model)
+            self.default_model = name
+        else:
+            candidates = self._model_ids or self.registry.ids()
+            if default_model is not None:
+                self.default_model = default_model
+            elif candidates:
+                self.default_model = candidates[0]
+            else:
+                raise ValueError("registry has no servable artifacts and no "
+                                 "default_model was given")
         self._httpd = _ServingHTTPServer((host, port), self)
         self._thread: threading.Thread | None = None
 
@@ -192,33 +411,142 @@ class DSEServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    @property
+    def model(self) -> AirchitectV2:
+        """The default route's model (back-compat accessor)."""
+        return self._route(self.default_model).model
+
+    @property
+    def problem(self):
+        return self.model.problem
+
     # ------------------------------------------------------------------
-    def _ensure_oracle(self) -> ExhaustiveOracle:
+    # Routes
+    # ------------------------------------------------------------------
+    def add_model(self, name: str, model: AirchitectV2,
+                  source: str = "direct") -> ModelRoute:
+        """Attach a model under ``name`` (started if the server runs)."""
+        route = ModelRoute(name, model, max_batch_size=self.max_batch_size,
+                           max_wait_ms=self.max_wait_ms,
+                           micro_batch_size=self.micro_batch_size,
+                           source=source, sweep_workers=self.sweep_workers)
+        with self._route_lock:
+            if name in self.routes:
+                raise ValueError(f"model {name!r} is already served")
+            self.routes[name] = route
+            if self._running:
+                route.start()
+        return route
+
+    def _servable_from_registry(self, name: str) -> bool:
+        if self.registry is None:
+            return False
+        if self._model_ids is not None and name not in self._model_ids:
+            return False
+        return self.registry.has(name)
+
+    def _route(self, name: str | None) -> ModelRoute:
+        """Resolve a request's model name to an active route.
+
+        Registry-backed models load lazily on first use (through the
+        registry's LRU); over ``max_models`` the least-recently-served
+        registry route is stopped and evicted first.
+        """
+        name = name or self.default_model
+        if not isinstance(name, str):
+            raise _BadRequest(f"'model' must be a string, "
+                              f"got {type(name).__name__}")
+        with self._route_lock:
+            route = self.routes.get(name)
+            if route is not None:
+                route.last_served = time.time()
+                return route
+        if not self._servable_from_registry(name):
+            known = sorted(self.routes)
+            if self.registry is not None:
+                known = sorted(set(known)
+                               | set(self._model_ids or self.registry.ids()))
+            raise _NotFound(f"unknown model {name!r}; "
+                            f"available: {known}")
+        try:
+            loaded = self.registry.get(name)
+        except RegistryError as exc:
+            raise _NotFound(f"model {name!r} could not be loaded from the "
+                            f"registry: {exc}") from None
+        if not hasattr(loaded, "predict_indices"):
+            raise _BadRequest(f"model {name!r} (kind "
+                              f"{self.registry.artifact(name).kind!r}) has "
+                              f"no one-shot inference path; only models with "
+                              f"predict_indices are servable")
+        evicted: ModelRoute | None = None
+        with self._route_lock:
+            if name not in self.routes:     # racing request may have won
+                route = ModelRoute(
+                    name, loaded, max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms,
+                    micro_batch_size=self.micro_batch_size,
+                    source="registry", sweep_workers=self.sweep_workers)
+                self.routes[name] = route
+                if self._running:
+                    route.start()
+                evicted = self._evict_locked(keep=name)
+            route = self.routes[name]
+            route.last_served = time.time()
+        if evicted is not None:
+            evicted.stop()
+            self.registry.invalidate(evicted.name)
+        return route
+
+    def _evict_locked(self, keep: str) -> ModelRoute | None:
+        """Pop the stalest registry route beyond ``max_models`` (if any)."""
+        if self.max_models is None:
+            return None
+        candidates = [r for r in self.routes.values()
+                      if r.source == "registry" and r.name != keep]
+        if len(candidates) + 1 <= self.max_models:
+            return None
+        stalest = min(candidates, key=lambda r: r.last_served, default=None)
+        if stalest is not None:
+            del self.routes[stalest.name]
+        return stalest
+
+    # ------------------------------------------------------------------
+    def _ensure_oracle(self, problem) -> ExhaustiveOracle:
+        # Built from the requesting route's problem: going through
+        # self.problem here would lazily load the *default* route, which
+        # under max_models could evict the very route being served.
         with self._oracle_lock:
             if self.oracle is None:
-                self.oracle = ExhaustiveOracle(self.problem)
-                self.stats.oracle = self.oracle
+                self.oracle = ExhaustiveOracle(problem)
             return self.oracle
 
+    def record_error(self) -> None:
+        self._errors.record_error()
+
+    # ------------------------------------------------------------------
+    # /predict
+    # ------------------------------------------------------------------
     def handle_predict(self, doc) -> dict:
-        """Serve one ``/predict`` body through the batcher (any thread)."""
+        """Serve one ``/predict`` body through its route's batcher."""
         rows = _parse_workloads(doc)
-        with_cost = bool(isinstance(doc, dict) and doc.get("with_cost"))
-        with_oracle = bool(isinstance(doc, dict) and doc.get("with_oracle"))
+        is_dict = isinstance(doc, dict)
+        route = self._route(doc.get("model") if is_dict else None)
+        with_cost = bool(is_dict and doc.get("with_cost"))
+        with_oracle = bool(is_dict and doc.get("with_oracle"))
         try:
-            if len(rows) > self.batcher.max_batch_size:
+            if len(rows) > route.batcher.max_batch_size:
                 # Bulk bodies go straight to the vectorised engine; the
                 # queue exists to coalesce *small* concurrent requests.
-                served = self.batcher.predict_batch(rows)
+                served = route.batcher.predict_batch(rows)
             else:
-                futures = [self.batcher.submit(m, n, k, df)
+                futures = [route.batcher.submit(m, n, k, df)
                            for m, n, k, df in rows]
                 served = [f.result(self.request_timeout_s) for f in futures]
         except ValueError as exc:
             raise _BadRequest(str(exc)) from None
         predictions = [s.as_dict() for s in served]
         if with_cost or with_oracle:
-            oracle = self._ensure_oracle()
+            oracle = self._ensure_oracle(route.problem)
             inputs = np.array([[s.m, s.n, s.k, s.dataflow] for s in served],
                               dtype=np.int64)
             costs = oracle.cost_at(
@@ -230,8 +558,8 @@ class DSEServer:
             # The exact optimum (LRU/persistently cached) plus the
             # prediction's regret against it.
             labels = oracle.solve(inputs)
-            opt_pes, opt_l2 = self.problem.space.values(labels.pe_idx,
-                                                        labels.l2_idx)
+            opt_pes, opt_l2 = route.problem.space.values(labels.pe_idx,
+                                                         labels.l2_idx)
             for i, pred in enumerate(predictions):
                 pred["oracle_num_pes"] = int(opt_pes[i])
                 pred["oracle_l2_kb"] = int(opt_l2[i])
@@ -239,14 +567,144 @@ class DSEServer:
                 pred["regret"] = float(
                     pred["predicted_cost"]
                     / max(labels.best_cost[i], 1e-12) - 1.0)
-        return {"predictions": predictions, "count": len(predictions)}
+        return {"model": route.name, "predictions": predictions,
+                "count": len(predictions)}
+
+    # ------------------------------------------------------------------
+    # /sweep (streaming)
+    # ------------------------------------------------------------------
+    def prepare_sweep(self, doc):
+        """Validate a ``/sweep`` body and return its chunk generator.
+
+        All client errors surface *here*, before the caller commits to a
+        200 streaming response; the generator itself only touches the
+        engine.
+        """
+        doc = _require_dict(doc, "/sweep")
+        route = self._route(doc.get("model"))
+        problem = route.problem
+        if "random" in doc:
+            try:
+                count = int(doc["random"])
+                seed = int(doc.get("seed", 0))
+            except (TypeError, ValueError):
+                raise _BadRequest("'random' and 'seed' must be integers") \
+                    from None
+            if not 1 <= count <= _MAX_SWEEP_ROWS:
+                raise _BadRequest(f"'random' must be in 1..{_MAX_SWEEP_ROWS}")
+            inputs = problem.sample_inputs(count, np.random.default_rng(seed))
+        else:
+            rows = _parse_workloads(doc, limit=_MAX_SWEEP_ROWS)
+            inputs = np.array(rows, dtype=np.int64)
+            bad = (inputs[:, 3] < 0) | \
+                (inputs[:, 3] >= problem.bounds.n_dataflows)
+            if bad.any():
+                raise _BadRequest(
+                    f"dataflow must be in 0..{problem.bounds.n_dataflows - 1}")
+            m, n, k = problem.clamp_inputs(inputs[:, 0], inputs[:, 1],
+                                           inputs[:, 2])
+            inputs = np.stack([m, n, k, inputs[:, 3]], axis=1)
+        try:
+            chunk_size = int(doc.get("chunk_size", 1024))
+        except (TypeError, ValueError):
+            raise _BadRequest("'chunk_size' must be an integer") from None
+        if not 1 <= chunk_size <= _MAX_SWEEP_CHUNK:
+            raise _BadRequest(f"'chunk_size' must be in 1..{_MAX_SWEEP_CHUNK}")
+        with_cost = bool(doc.get("with_cost"))
+        return self._iter_sweep(route, inputs, chunk_size, with_cost)
+
+    def _iter_sweep(self, route: ModelRoute, inputs: np.ndarray,
+                    chunk_size: int, with_cost: bool):
+        """Yield the header, one doc per computed chunk, and a summary."""
+        total = len(inputs)
+        chunks = -(-total // chunk_size)
+        yield {"model": route.name, "count": total, "chunk_size": chunk_size,
+               "chunks": chunks, "with_cost": with_cost}
+        engine = route.sweep_engine()
+        oracle = self._ensure_oracle(route.problem) if with_cost else None
+        start = time.perf_counter()
+        for index, lo in enumerate(range(0, total, chunk_size)):
+            chunk = inputs[lo:lo + chunk_size]
+            pe_idx, l2_idx = engine.predict_indices(chunk)
+            num_pes, l2_kb = route.problem.space.values(pe_idx, l2_idx)
+            predictions = [
+                {"m": int(r[0]), "n": int(r[1]), "k": int(r[2]),
+                 "dataflow": int(r[3]), "pe_idx": int(pe_idx[i]),
+                 "l2_idx": int(l2_idx[i]), "num_pes": int(num_pes[i]),
+                 "l2_kb": int(l2_kb[i])}
+                for i, r in enumerate(chunk)]
+            if with_cost:
+                costs = oracle.cost_at(chunk, pe_idx, l2_idx)
+                for pred, cost in zip(predictions, costs):
+                    pred["predicted_cost"] = float(cost)
+            yield {"chunk": index, "start": lo, "count": len(chunk),
+                   "predictions": predictions}
+        elapsed = time.perf_counter() - start
+        route.stats.record_sweep(total, chunks)
+        yield {"done": True, "model": route.name, "count": total,
+               "chunks": chunks, "elapsed_s": elapsed,
+               "samples_per_sec": total / max(elapsed, 1e-12)}
+
+    # ------------------------------------------------------------------
+    # /stats and /models
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Aggregate counters plus the per-model breakdown."""
+        with self._route_lock:
+            routes = dict(self.routes)
+        per_model = {name: route.stats_snapshot()
+                     for name, route in routes.items()}
+        # Merge the *same* per-model snapshots that go out in the
+        # response, so the aggregate always equals the breakdown's sum
+        # (and every route's stats lock is taken exactly once).
+        doc = ServingStats.merge_snapshots(
+            list(per_model.values()) + [self._errors.snapshot()],
+            uptime_s=time.time() - self.started_at)
+        doc["models"] = per_model
+        doc["default_model"] = self.default_model
+        if self.oracle is not None:
+            info = self.oracle.cache_info()
+            doc["oracle_cache"] = {"hits": info.hits, "misses": info.misses,
+                                   "size": info.size,
+                                   "capacity": info.capacity,
+                                   "hit_rate": info.hit_rate}
+        return doc
+
+    def models_snapshot(self) -> dict:
+        """The ``GET /models`` listing: active routes + registry artifacts."""
+        with self._route_lock:
+            routes = dict(self.routes)
+        entries: dict[str, dict] = {}
+        for name, route in routes.items():
+            entries[name] = {"model_id": name, "loaded": True,
+                             "source": route.source,
+                             "requests_total": route.stats.requests_total,
+                             "head_style": route.model.config.head_style
+                             if hasattr(route.model, "config") else None}
+        if self.registry is not None:
+            for artifact in self.registry.list():
+                if self._model_ids is not None \
+                        and artifact.model_id not in self._model_ids:
+                    continue
+                entry = entries.setdefault(
+                    artifact.model_id,
+                    {"model_id": artifact.model_id, "loaded": False,
+                     "source": "registry", "requests_total": 0})
+                entry.update(artifact.summary())
+                entry["model_id"] = artifact.model_id
+        models = sorted(entries.values(), key=lambda e: e["model_id"])
+        return {"default_model": self.default_model, "count": len(models),
+                "models": models}
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "DSEServer":
         """Serve in a background thread (tests / embedded use)."""
-        self.batcher.start()
+        with self._route_lock:
+            self._running = True
+            for route in self.routes.values():
+                route.start()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -256,7 +714,10 @@ class DSEServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI path)."""
-        self.batcher.start()
+        with self._route_lock:
+            self._running = True
+            for route in self.routes.values():
+                route.start()
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
@@ -265,7 +726,11 @@ class DSEServer:
         if self._thread is not None:
             self._thread.join(10.0)
             self._thread = None
-        self.batcher.stop()
+        with self._route_lock:
+            self._running = False
+            routes = list(self.routes.values())
+        for route in routes:
+            route.stop()
 
     def __enter__(self) -> "DSEServer":
         return self.start()

@@ -15,19 +15,37 @@ engine scales with *processes*, not threads.  The executor:
   cache keep accumulating);
 * falls back to the single-process engine when ``num_workers <= 1``, the
   sweep is smaller than one shard, or the platform refuses to spawn a
-  pool (sandboxes without ``fork``).
+  pool (sandboxes without ``fork``);
+* with ``autoscale=True``, plans every sweep through an
+  :class:`AutoscalePolicy`: worker count and shard size adapt to the
+  sweep size and the observed per-worker throughput, and each plan is
+  recorded in :attr:`ShardedSweepExecutor.decision_trace` (surfaced by
+  the serving front-end's ``GET /stats``).
 
-Predictions are bit-identical to the single-process sweep: sharding only
-partitions rows, and every row's forward pass is deterministic.
+Predictions are bit-identical to the single-process sweep regardless of
+the plan: sharding only partitions rows, and every row's forward pass is
+deterministic — so the autoscaled path returns exactly what the
+fixed-shard path would.
+
+The worker pool and the model-state temp directory are torn down by
+``close()`` (idempotent), by the context manager, or — as a last
+resort — by a ``weakref.finalize`` hook at garbage collection or
+interpreter exit, so abandoned executors never leak processes or
+``repro_shard_*`` directories.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import signal
 import tempfile
 import time
 import warnings
+import weakref
+from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,7 +53,7 @@ from ..core import AirchitectV2, BatchedDSEPredictor, BatchPrediction
 from ..dse import ExhaustiveOracle
 from ..nn import load_module, save_module
 
-__all__ = ["ShardedSweepExecutor"]
+__all__ = ["ShardedSweepExecutor", "AutoscalePolicy", "AutoscaleDecision"]
 
 # Per-worker-process engine, installed by _init_worker (one per pool
 # process; plain module global because pool workers are single-threaded).
@@ -44,6 +62,11 @@ _WORKER_ENGINE: BatchedDSEPredictor | None = None
 
 def _init_worker(config, problem, state_path: str, micro_batch_size: int) -> None:
     global _WORKER_ENGINE
+    # A terminal Ctrl-C lands on the whole foreground process *group*,
+    # workers included; dying mid-IPC can wedge the parent's
+    # pool.terminate()/join().  The parent owns worker lifecycle, so
+    # workers ignore SIGINT and wait to be terminated.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     model = AirchitectV2(config, problem, np.random.default_rng(0))
     load_module(model, state_path)
     model.eval()
@@ -57,6 +80,127 @@ def _run_shard(args: tuple[int, np.ndarray]) -> tuple[int, np.ndarray, np.ndarra
     return shard_idx, pe_idx, l2_idx
 
 
+def _shutdown(pool, state_dir) -> None:
+    """Tear down a pool + state dir (finalizer-safe: tolerates reruns)."""
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    if state_dir is not None and os.path.isdir(state_dir.name):
+        state_dir.cleanup()
+
+
+# ----------------------------------------------------------------------
+# Autoscaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One sweep's plan: how many workers, how big the shards, and why."""
+
+    sweep_size: int
+    workers: int            # target parallelism (1 = stay single-process)
+    shard_size: int         # rows per shard when pooled
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {"sweep_size": self.sweep_size, "workers": self.workers,
+                "shard_size": self.shard_size, "reason": self.reason}
+
+
+class AutoscalePolicy:
+    """Plan sweeps from their size and the observed per-worker throughput.
+
+    The policy is a pure, deterministic function of its observations, so
+    plans are reproducible and unit-testable.  Two exponentially-weighted
+    throughput estimates feed it:
+
+    * ``single_rows_per_s`` — rows/sec of the in-process fallback engine;
+    * ``pooled_rows_per_worker_s`` — rows/sec *per worker* of pooled runs.
+
+    Decision rules, in order:
+
+    1. Sweeps under ``2 * min_shard_size`` rows stay single-process
+       (fan-out costs more than it saves on tiny batches).
+    2. Once the single-process rate is known, sweeps it would finish
+       within ``min_pool_gain_s`` stay single-process — dispatching to a
+       pool cannot win back less time than the dispatch costs.
+    3. Once *both* rates are known, a sweep whose predicted
+       single-process time beats the predicted pooled time (per-worker
+       rate times the planned workers, plus ``min_pool_gain_s`` of
+       dispatch) stays single-process.
+    4. Otherwise the sweep is pooled on
+       ``min(max_workers, sweep_size // min_shard_size)`` workers, with
+       ``shards_per_worker`` shards each (a little oversharding lets the
+       fast workers absorb the slow ones' tail), never below
+       ``min_shard_size`` rows per shard.
+
+    Only *whether and how* to shard is adaptive; the predictions are
+    bit-identical under every plan.
+    """
+
+    def __init__(self, max_workers: int, min_shard_size: int = 256,
+                 shards_per_worker: int = 2, min_pool_gain_s: float = 0.05,
+                 ewma: float = 0.5):
+        self.max_workers = max(1, int(max_workers))
+        self.min_shard_size = max(1, int(min_shard_size))
+        self.shards_per_worker = max(1, int(shards_per_worker))
+        self.min_pool_gain_s = float(min_pool_gain_s)
+        self.ewma = float(ewma)
+        self.single_rows_per_s: float | None = None
+        self.pooled_rows_per_worker_s: float | None = None
+
+    # ------------------------------------------------------------------
+    def _blend(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self.ewma) * current + self.ewma * sample
+
+    def observe_single(self, rows: int, elapsed_s: float) -> None:
+        self.single_rows_per_s = self._blend(
+            self.single_rows_per_s, rows / max(elapsed_s, 1e-9))
+
+    def observe_pooled(self, rows: int, workers: int, elapsed_s: float) -> None:
+        per_worker = rows / max(elapsed_s, 1e-9) / max(workers, 1)
+        self.pooled_rows_per_worker_s = self._blend(
+            self.pooled_rows_per_worker_s, per_worker)
+
+    # ------------------------------------------------------------------
+    def decide(self, sweep_size: int) -> AutoscaleDecision:
+        n = int(sweep_size)
+        if n < 2 * self.min_shard_size:
+            return AutoscaleDecision(
+                n, 1, n or 1,
+                f"{n} rows below the {2 * self.min_shard_size}-row pool "
+                f"threshold")
+        if self.single_rows_per_s is not None:
+            eta = n / self.single_rows_per_s
+            if eta < self.min_pool_gain_s:
+                return AutoscaleDecision(
+                    n, 1, n,
+                    f"single-process ETA {eta * 1e3:.1f}ms under the "
+                    f"{self.min_pool_gain_s * 1e3:.0f}ms pool-gain floor")
+        workers = min(self.max_workers, max(1, n // self.min_shard_size))
+        shard_size = max(self.min_shard_size,
+                         math.ceil(n / (workers * self.shards_per_worker)))
+        if self.single_rows_per_s is not None \
+                and self.pooled_rows_per_worker_s is not None:
+            eta_single = n / self.single_rows_per_s
+            eta_pooled = self.min_pool_gain_s \
+                + n / (workers * self.pooled_rows_per_worker_s)
+            if eta_single <= eta_pooled:
+                return AutoscaleDecision(
+                    n, 1, n,
+                    f"single-process ETA {eta_single * 1e3:.1f}ms beats "
+                    f"{workers}-worker pooled ETA {eta_pooled * 1e3:.1f}ms")
+        basis = ("observed "
+                 f"{self.pooled_rows_per_worker_s:.0f} rows/s/worker"
+                 if self.pooled_rows_per_worker_s is not None
+                 else "no pooled-throughput observation yet")
+        return AutoscaleDecision(
+            n, workers, shard_size,
+            f"{workers} worker(s) x {self.shards_per_worker} shard(s) "
+            f"of <= {shard_size} rows ({basis})")
+
+
 class ShardedSweepExecutor:
     """Run :meth:`BatchedDSEPredictor.sweep`-equivalent sweeps on N processes.
 
@@ -66,7 +210,8 @@ class ShardedSweepExecutor:
         The trained :class:`AirchitectV2` to replicate into workers.
     num_workers:
         Pool size; defaults to ``os.cpu_count()`` capped at 8.  ``<= 1``
-        means single-process (no pool is ever created).
+        means single-process (no pool is ever created).  With
+        ``autoscale`` this is the *ceiling* — the policy may use fewer.
     micro_batch_size:
         Forwarded to each worker's engine.
     min_shard_size:
@@ -76,11 +221,21 @@ class ShardedSweepExecutor:
         ``multiprocessing`` start method (default ``"fork"`` where
         available — workers inherit nothing mutable, so fork is safe and
         avoids re-importing the world per worker).
+    autoscale:
+        Plan each sweep through an :class:`AutoscalePolicy` (worker
+        count and shard size adapt to sweep size and observed
+        throughput) instead of the fixed one-shard-per-worker split.
+        Results are bit-identical either way.
+    policy:
+        Optional pre-configured :class:`AutoscalePolicy` (implies
+        ``autoscale=True``); built from ``num_workers`` /
+        ``min_shard_size`` otherwise.
     """
 
     def __init__(self, model: AirchitectV2, num_workers: int | None = None,
                  micro_batch_size: int = 1024, min_shard_size: int = 256,
-                 mp_context: str | None = None):
+                 mp_context: str | None = None, autoscale: bool = False,
+                 policy: AutoscalePolicy | None = None):
         if num_workers is None:
             num_workers = min(os.cpu_count() or 1, 8)
         self.model = model
@@ -92,10 +247,16 @@ class ShardedSweepExecutor:
             mp_context = "fork" if "fork" in \
                 multiprocessing.get_all_start_methods() else "spawn"
         self.mp_context = mp_context
+        self.policy = policy if policy is not None else (
+            AutoscalePolicy(self.num_workers, self.min_shard_size)
+            if autoscale else None)
+        self.autoscale = self.policy is not None
+        self.decision_trace: deque[dict] = deque(maxlen=64)
         self._fallback = BatchedDSEPredictor(model,
                                              micro_batch_size=micro_batch_size)
         self._pool = None
         self._state_dir: tempfile.TemporaryDirectory | None = None
+        self._finalizer: weakref.finalize | None = None
         self._default_oracle: ExhaustiveOracle | None = None
 
     # ------------------------------------------------------------------
@@ -119,20 +280,24 @@ class ShardedSweepExecutor:
                           f"pool ({exc}); falling back to single-process "
                           f"sweeps", RuntimeWarning, stacklevel=3)
             self.num_workers = 1
-            self._cleanup_state_dir()
+            self._state_dir.cleanup()
+            self._state_dir = None
+            return None
+        # Last-resort teardown at GC/interpreter exit: an abandoned
+        # executor must not leak worker processes or its state dir.
+        self._finalizer = weakref.finalize(self, _shutdown, self._pool,
+                                           self._state_dir)
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._cleanup_state_dir()
-
-    def _cleanup_state_dir(self) -> None:
-        if self._state_dir is not None:
-            self._state_dir.cleanup()
-            self._state_dir = None
+        """Terminate the pool and remove the state dir; safe to re-call."""
+        if self._finalizer is not None:
+            self._finalizer()      # no-op if the finalizer already ran
+            self._finalizer = None
+        elif self._state_dir is not None:  # pool creation failed mid-way
+            _shutdown(None, self._state_dir)
+        self._pool = None
+        self._state_dir = None
 
     def __enter__(self) -> "ShardedSweepExecutor":
         return self
@@ -141,21 +306,24 @@ class ShardedSweepExecutor:
         self.close()
 
     # ------------------------------------------------------------------
-    def shard(self, inputs: np.ndarray) -> list[tuple[int, np.ndarray]]:
-        """Contiguous, order-preserving shards (one per worker, rounded up)."""
-        shard_size = max(self.min_shard_size,
-                         -(-len(inputs) // self.num_workers))
+    def shard(self, inputs: np.ndarray,
+              shard_size: int | None = None) -> list[tuple[int, np.ndarray]]:
+        """Contiguous, order-preserving shards.
+
+        Defaults to one shard per worker (rounded up); an autoscale plan
+        passes its own ``shard_size``.
+        """
+        if shard_size is None:
+            shard_size = max(self.min_shard_size,
+                             -(-len(inputs) // self.num_workers))
+        shard_size = max(1, int(shard_size))
         return [(i, inputs[start:start + shard_size])
                 for i, start in enumerate(range(0, len(inputs), shard_size))]
 
-    def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Sharded one-shot DSE over pre-built (batch, 4) input tuples."""
-        inputs = np.atleast_2d(np.asarray(inputs))
-        pool = self._ensure_pool() \
-            if len(inputs) >= 2 * self.min_shard_size else None
-        if pool is None:
-            return self._fallback.predict_indices(inputs)
-        shards = self.shard(inputs)
+    def _run_pooled(self, pool, inputs: np.ndarray,
+                    shard_size: int | None) -> tuple[np.ndarray, np.ndarray, int]:
+        """Map shards over the pool; returns (pe_idx, l2_idx, num_shards)."""
+        shards = self.shard(inputs, shard_size)
         pe_idx = np.empty(len(inputs), dtype=np.int64)
         l2_idx = np.empty(len(inputs), dtype=np.int64)
         offsets = np.cumsum([0] + [len(rows) for _, rows in shards])
@@ -164,6 +332,50 @@ class ShardedSweepExecutor:
         for idx, pe, l2 in pool.imap_unordered(_run_shard, shards):
             sl = slice(offsets[idx], offsets[idx + 1])
             pe_idx[sl], l2_idx[sl] = pe, l2
+        return pe_idx, l2_idx, len(shards)
+
+    def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sharded one-shot DSE over pre-built (batch, 4) input tuples."""
+        inputs = np.atleast_2d(np.asarray(inputs))
+        if self.autoscale:
+            return self._predict_autoscaled(inputs)
+        pool = self._ensure_pool() \
+            if len(inputs) >= 2 * self.min_shard_size else None
+        if pool is None:
+            return self._fallback.predict_indices(inputs)
+        pe_idx, l2_idx, _ = self._run_pooled(pool, inputs, None)
+        return pe_idx, l2_idx
+
+    def _predict_autoscaled(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Plan, run, observe, and trace one sweep under the policy."""
+        decision = self.policy.decide(len(inputs))
+        pool = self._ensure_pool() if decision.workers > 1 else None
+        record = decision.as_dict()
+        start = time.perf_counter()
+        if pool is None:
+            if decision.workers > 1:   # pool refused to start (no fork)
+                record["reason"] += "; pool unavailable, ran single-process"
+            pe_idx, l2_idx = self._fallback.predict_indices(inputs)
+            elapsed = time.perf_counter() - start
+            self.policy.observe_single(len(inputs), elapsed)
+            record.update(pooled=False, num_shards=1)
+        else:
+            pe_idx, l2_idx, num_shards = self._run_pooled(
+                pool, inputs, decision.shard_size)
+            elapsed = time.perf_counter() - start
+            # Actual parallelism is bounded by the pool, not the plan:
+            # the pool has num_workers processes and every shard can land
+            # on a distinct one.
+            self.policy.observe_pooled(
+                len(inputs), min(self.num_workers, num_shards), elapsed)
+            record.update(pooled=True, num_shards=num_shards,
+                          pool_size=self.num_workers)
+        record.update(
+            elapsed_s=elapsed,
+            rows_per_sec=len(inputs) / max(elapsed, 1e-9),
+            single_rows_per_sec=self.policy.single_rows_per_s,
+            pooled_rows_per_worker_sec=self.policy.pooled_rows_per_worker_s)
+        self.decision_trace.append(record)
         return pe_idx, l2_idx
 
     def sweep(self, inputs: np.ndarray, with_cost: bool = False,

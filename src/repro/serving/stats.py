@@ -1,10 +1,12 @@
 """Thread-safe serving counters shared by the batcher and the HTTP server.
 
-One :class:`ServingStats` instance is threaded through the whole serving
-stack: the :class:`~repro.serving.DynamicBatcher` records per-request queue
-waits and per-batch sizes, the engine's ``on_batch`` hook
+Each served model owns one :class:`ServingStats`: its
+:class:`~repro.serving.DynamicBatcher` records per-request queue waits and
+per-batch sizes, the engine's ``on_batch`` hook
 (:class:`repro.core.BatchedDSEPredictor`) records raw forward passes, and
-``GET /stats`` serialises a snapshot.  An optional attached oracle
+the streaming sweep endpoint records per-sweep row/chunk counts.
+``GET /stats`` serialises one snapshot per model plus an aggregate built
+with :meth:`ServingStats.merge_snapshots`.  An optional attached oracle
 contributes its label-cache hit rate.
 """
 
@@ -36,6 +38,9 @@ class ServingStats:
         self.forward_time_s = 0.0
         self.queue_wait_total_s = 0.0
         self.queue_wait_max_s = 0.0
+        self.sweeps_total = 0
+        self.sweep_rows_total = 0
+        self.sweep_chunks_total = 0
         self.errors_total = 0
 
     # ------------------------------------------------------------------
@@ -60,6 +65,13 @@ class ServingStats:
             self.forward_passes += 1
             self.forward_rows += rows
             self.forward_time_s += elapsed_s
+
+    def record_sweep(self, rows: int, chunks: int) -> None:
+        """One completed streaming sweep: its row and chunk counts."""
+        with self._lock:
+            self.sweeps_total += 1
+            self.sweep_rows_total += rows
+            self.sweep_chunks_total += chunks
 
     def record_error(self) -> None:
         with self._lock:
@@ -91,6 +103,10 @@ class ServingStats:
                 "forward_time_s": self.forward_time_s,
                 "mean_queue_wait_ms": self.mean_queue_wait_s * 1e3,
                 "max_queue_wait_ms": self.queue_wait_max_s * 1e3,
+                "queue_wait_total_s": self.queue_wait_total_s,
+                "sweeps_total": self.sweeps_total,
+                "sweep_rows_total": self.sweep_rows_total,
+                "sweep_chunks_total": self.sweep_chunks_total,
                 "errors_total": self.errors_total,
             }
         if self.oracle is not None:
@@ -100,3 +116,26 @@ class ServingStats:
                                    "capacity": info.capacity,
                                    "hit_rate": info.hit_rate}
         return doc
+
+    @staticmethod
+    def merge_snapshots(snapshots, uptime_s: float) -> dict:
+        """Aggregate per-model snapshots into one fleet-level view.
+
+        Counters sum; means are recomputed from the summed numerators and
+        denominators (never averaged-of-averages); maxima take the max.
+        """
+        merged = {"uptime_s": uptime_s}
+        for key in ("requests_total", "batches_total", "samples_total",
+                    "queued_samples", "forward_passes", "forward_rows",
+                    "forward_time_s", "queue_wait_total_s", "sweeps_total",
+                    "sweep_rows_total", "sweep_chunks_total", "errors_total"):
+            merged[key] = sum(s[key] for s in snapshots)
+        merged["mean_batch_size"] = (
+            merged["samples_total"] / merged["batches_total"]
+            if merged["batches_total"] else 0.0)
+        merged["mean_queue_wait_ms"] = (
+            1e3 * merged["queue_wait_total_s"] / merged["queued_samples"]
+            if merged["queued_samples"] else 0.0)
+        merged["max_queue_wait_ms"] = max(
+            (s["max_queue_wait_ms"] for s in snapshots), default=0.0)
+        return merged

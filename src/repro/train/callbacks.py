@@ -46,19 +46,42 @@ class Callback:
 
 
 class Checkpointer(Callback):
-    """Write a resumable snapshot every ``every`` epochs (and on the last)."""
+    """Write a resumable snapshot every ``every`` epochs (and on the last).
 
-    def __init__(self, path, every: int = 1):
+    With ``registry`` and ``model_id`` set, every snapshot also registers
+    the model's current weights as a
+    :class:`~repro.registry.ModelRegistry` artifact — the manifest
+    carries the task fingerprint plus the latest history entry as
+    metrics, so in-flight training runs are discoverable (and servable)
+    through the same registry as finished ones.
+    """
+
+    def __init__(self, path, every: int = 1, registry=None,
+                 model_id: str | None = None):
         if every < 1:
             raise ValueError("checkpoint interval must be >= 1")
+        if (registry is None) != (model_id is None):
+            raise ValueError("registry and model_id must be given together")
         self.path = path
         self.every = every
+        self.registry = registry
+        self.model_id = model_id
         self.saves = 0
 
     def on_epoch_end(self, loop) -> None:
         done = loop.epoch + 1
         if done % self.every == 0 or done == loop.task.epochs:
             save_checkpoint(self.path, loop)
+            if self.registry is not None:
+                task = loop.task
+                metrics = {key: values[-1]
+                           for key, values in loop.history.items() if values}
+                metrics["epochs_done"] = done
+                self.registry.save(
+                    task.model, self.model_id,
+                    fingerprint={"task": task.name, "seed": int(task.seed),
+                                 "epochs": int(task.epochs)},
+                    metrics=metrics)
             self.saves += 1
 
 

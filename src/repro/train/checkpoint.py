@@ -13,8 +13,11 @@ continue bit-identically to an uninterrupted run:
 
 alongside a fingerprint of the task (name, seed, epochs, history keys,
 optimiser slots) so a checkpoint can never silently resume a *different*
-training run.  Files are written to a temp path and ``os.replace``-d into
-place, so an interrupt mid-save leaves the previous snapshot intact.
+training run.  Writes go through the shared
+:func:`repro.registry.atomic_savez` (temp file + ``os.replace``), so an
+interrupt mid-save leaves the previous snapshot intact.  The archive
+format itself is unchanged from the pre-registry writer — old
+checkpoints resume bit-identically.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ import json
 import os
 
 import numpy as np
+
+from ..registry.storage import atomic_savez
 
 __all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_exists",
            "CheckpointMismatchError"]
@@ -81,11 +86,8 @@ def save_checkpoint(path, loop) -> str:
         "callbacks": [{"class": type(cb).__name__, "state": cb.state_dict()}
                       for cb in loop.active_callbacks],
     }
-    path = _normalise(path)
-    tmp = path + ".tmp.npz"
-    np.savez(tmp, **arrays, **{_META_KEY: np.array(json.dumps(meta))})
-    os.replace(tmp, path)
-    return path
+    return atomic_savez(path, {**arrays,
+                               _META_KEY: np.array(json.dumps(meta))})
 
 
 def load_checkpoint(path, loop) -> None:

@@ -170,3 +170,85 @@ class TestTrainCommand:
         doc = json.loads(capsys.readouterr().out)
         assert doc["model"] == "vaesa"
         assert doc["accuracy"] is None    # search-based inference
+
+
+class TestRegistryFlow:
+    """--registry/--model-id: train registers an artifact, predict/serve
+    load it."""
+
+    def test_train_registers_then_predict_serves_artifact(self, tmp_path,
+                                                          capsys):
+        registry_dir = tmp_path / "registry"
+        code = main(["train", "--smoke", "--cache", str(tmp_path / "cache"),
+                     "--registry", str(registry_dir),
+                     "--model-id", "demo", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["registry"] == {"root": str(registry_dir),
+                                   "model_id": "demo"}
+
+        from repro.registry import ModelRegistry
+        artifact = ModelRegistry(registry_dir).artifact("demo")
+        assert artifact.kind == "airchitect_v2"
+        assert artifact.scale == "tiny"
+        assert artifact.metrics["accuracy"] == doc["accuracy"]
+
+        code = main(["predict", "--registry", str(registry_dir),
+                     "--model-id", "demo", "--random", "8", "--batch",
+                     "--json", "--seed", "2"])
+        assert code == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["samples"] == 8
+
+        # The registry-loaded model predicts bit-identically to the
+        # workspace-cached one the training run left behind.
+        code = main(["predict", "--cache", str(tmp_path / "cache"),
+                     "--scale", "tiny", "--random", "8", "--batch",
+                     "--json", "--seed", "2"])
+        assert code == 0
+        cached = json.loads(capsys.readouterr().out)
+        assert served["predictions"] == cached["predictions"]
+
+    def test_default_model_id_derived_from_model_and_scale(self, tmp_path,
+                                                           capsys):
+        code = main(["train", "--smoke", "--cache", str(tmp_path / "cache"),
+                     "--registry", str(tmp_path / "registry"), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["registry"]["model_id"] == "v2_tiny_s0"
+
+    def test_missing_artifact_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["predict", "--registry", str(tmp_path),
+                     "--model-id", "ghost", "--random", "4"])
+        assert code == 2
+        assert "repro predict: error:" in capsys.readouterr().err
+
+    def test_search_only_artifact_is_a_clean_error(self, tmp_path, capsys):
+        """A VAESA artifact has no one-shot inference path; predict must
+        refuse it cleanly instead of crashing in the engine."""
+        import numpy as np
+        from repro.baselines import VAESA, VAESAConfig
+        from repro.experiments.common import get_problem
+        from repro.registry import ModelRegistry
+        problem = get_problem()
+        model = VAESA(VAESAConfig(epochs=1), problem,
+                      np.random.default_rng(0))
+        ModelRegistry(tmp_path).save(model, "vaesa")
+        code = main(["predict", "--registry", str(tmp_path),
+                     "--model-id", "vaesa", "--random", "4", "--batch"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no one-shot inference path" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["predict", "--model-id", "x", "--random", "4"],        # no registry
+        ["predict", "--registry", "r", "--random", "4"],        # no model id
+        ["predict", "--registry", "r", "--model-id", "x",
+         "--untrained", "--random", "4"],                       # conflict
+        ["train", "--smoke", "--model-id", "x"],                # no registry
+    ], ids=["model-id-only", "registry-only", "untrained-conflict",
+            "train-model-id-only"])
+    def test_inconsistent_flags_rejected(self, argv):
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
