@@ -1,33 +1,47 @@
-"""Concurrent-client serving: dynamic batcher vs the per-request loop.
+"""Concurrent-client serving: batcher speedup, tail latency, backpressure.
 
-The acceptance gate of the serving subsystem: with N concurrent clients
-issuing single-workload requests, the dynamic batcher (which coalesces
-them into engine micro-batches) must deliver >= 3x the throughput of the
-unbatched path (one engine forward pass per request), with predictions
-bit-identical to :class:`repro.core.DSEPredictor`.
+Three gates, one per serving-subsystem promise:
+
+* **Batcher speedup** — with N concurrent clients issuing
+  single-workload requests, the dynamic batcher (which coalesces them
+  into engine micro-batches) must deliver >= 3x the throughput of the
+  unbatched path (one engine forward pass per request), with predictions
+  bit-identical to :class:`repro.core.DSEPredictor`.
+* **Sustained-load SLO** — a client fleet hammering the asyncio HTTP
+  front-end over keep-alive connections for a fixed wall-clock window
+  must keep client-observed p99 latency under ``--p99-limit``, with the
+  server's own ``/stats`` p50/p95/p99 histogram recorded alongside.
+* **Saturation behaviour** — a route with a tiny ``max_queue`` and a
+  deliberately slow engine must answer the overflow with HTTP 429 +
+  ``Retry-After`` (bounded admission), never by queueing unboundedly.
 
 Run standalone to record the perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_serving.py \
-        --clients 16 --requests-per-client 64 --output BENCH_serving.json
+        --clients 16 --requests-per-client 64 --duration 5 \
+        --output BENCH_serving.json
 
-or under pytest (the test is marked ``slow``)::
+or under pytest (the tests are marked ``slow``)::
 
     pytest benchmarks/bench_serving.py --benchmark-only -m slow -s
 
-``--smoke`` runs a seconds-long configuration for CI that only asserts
-the batcher beats the per-request loop at all (and predictions stay
-identical), so serving-throughput regressions fail PRs instead of
+``--smoke`` runs a seconds-long configuration for CI: the batcher must
+beat the per-request loop at all, sustained p99 stays under a lenient
+CI bound, and saturation must produce at least one 429 with its
+Retry-After header — so serving regressions fail PRs instead of
 releases.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
 
 import numpy as np
 import pytest
@@ -35,9 +49,11 @@ import pytest
 from repro.core import (AirchitectV2, BatchedDSEPredictor, DSEPredictor,
                         ModelConfig)
 from repro.dse import DSEProblem
-from repro.serving import DynamicBatcher, ServingStats
+from repro.serving import AsyncDSEServer, DynamicBatcher, ServingStats
 
 SPEEDUP_TARGET = 3.0
+P99_LIMIT_S = 0.5
+SMOKE_P99_LIMIT_S = 5.0
 
 
 def _drive_clients(n_clients: int, requests_per_client: int, inputs,
@@ -120,11 +136,155 @@ def run_bench(clients: int = 16, requests_per_client: int = 64,
             "speedup_target": SPEEDUP_TARGET}
 
 
+def run_sustained(duration_s: float = 5.0, clients: int = 8,
+                  max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                  p99_limit_s: float = P99_LIMIT_S, seed: int = 0) -> dict:
+    """Sustained load against the asyncio front-end: keep-alive client
+    fleet, client-observed p50/p95/p99, server-side ``/stats`` histogram."""
+    problem = DSEProblem()
+    rng = np.random.default_rng(seed)
+    model = AirchitectV2(ModelConfig(), problem, rng)
+    inputs = problem.sample_inputs(4096, rng)
+    DSEPredictor(model).predict_indices(inputs[0])     # warm-up (lazy allocs)
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    non_200 = [0] * clients
+    stop = threading.Event()
+
+    server = AsyncDSEServer(model, port=0, max_batch_size=max_batch_size,
+                            max_wait_ms=max_wait_ms)
+    with server:
+        host, port = server.address
+
+        def client(cid: int) -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            i = cid
+            while not stop.is_set():
+                row = inputs[i % len(inputs)]
+                i += clients
+                body = json.dumps({"m": int(row[0]), "n": int(row[1]),
+                                   "k": int(row[2]),
+                                   "dataflow": int(row[3])})
+                begin = time.perf_counter()
+                try:
+                    conn.request("POST", "/predict", body)
+                    resp = conn.getresponse()
+                    resp.read()
+                except (http.client.HTTPException, OSError):
+                    conn.close()    # dropped keep-alive: reconnect
+                    conn = http.client.HTTPConnection(host, port,
+                                                      timeout=30)
+                    continue
+                latencies[cid].append(time.perf_counter() - begin)
+                if resp.status != 200:
+                    non_200[cid] += 1
+            conn.close()
+
+        threads = [threading.Thread(target=client, args=(c,))
+                   for c in range(clients)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        time.sleep(duration_s)
+        stop.set()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        with urllib.request.urlopen(server.url + "/stats",
+                                    timeout=10) as resp:
+            server_stats = json.loads(resp.read())
+
+    lat = np.array([s for per_client in latencies for s in per_client])
+    p50, p95, p99 = (float(np.percentile(lat, q)) if len(lat) else 0.0
+                     for q in (50, 95, 99))
+    return {"duration_s": duration_s,
+            "clients": clients,
+            "requests_total": int(len(lat)),
+            "non_200_responses": int(sum(non_200)),
+            "requests_per_sec": len(lat) / max(elapsed, 1e-12),
+            "client_p50_ms": p50 * 1e3,
+            "client_p95_ms": p95 * 1e3,
+            "client_p99_ms": p99 * 1e3,
+            "server_latency": server_stats.get("latency"),
+            "p99_limit_s": p99_limit_s,
+            "p99_ok": bool(len(lat)) and p99 <= p99_limit_s}
+
+
+def run_saturation(seed: int = 0) -> dict:
+    """Overload a max_queue=2 route behind a deliberately slow engine:
+    the overflow must answer 429 + Retry-After, and the route must admit
+    again once the burst subsides."""
+    problem = DSEProblem()
+    rng = np.random.default_rng(seed)
+    model = AirchitectV2(ModelConfig(), problem, rng)
+    server = AsyncDSEServer(model, port=0, max_batch_size=4, max_wait_ms=1,
+                            max_queue=2, retry_after_s=1.0)
+    route = server._route(None)
+    real = route.engine.predict_indices
+
+    def slow(batch):
+        time.sleep(0.05)        # one engine pass outlives the whole burst
+        return real(batch)
+
+    route.engine.predict_indices = slow
+    counts = {"200": 0, "429": 0, "other": 0}
+    retry_after: list[str] = []
+    lock = threading.Lock()
+
+    with server:
+        def burst_client(cid: int) -> None:
+            for r in range(4):
+                req = urllib.request.Request(
+                    server.url + "/predict",
+                    data=json.dumps({"m": 8 + cid, "n": 8 + r,
+                                     "k": 8}).encode())
+                try:
+                    with urllib.request.urlopen(req, timeout=30) as resp:
+                        status, header = resp.status, None
+                        resp.read()
+                except urllib.error.HTTPError as err:
+                    status = err.code
+                    header = err.headers.get("Retry-After")
+                    err.read()
+                with lock:
+                    counts[str(status) if status in (200, 429)
+                           else "other"] += 1
+                    if status == 429 and header is not None:
+                        retry_after.append(header)
+
+        threads = [threading.Thread(target=burst_client, args=(c,))
+                   for c in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # The burst is over: the bounded queue must admit again.
+        req = urllib.request.Request(
+            server.url + "/predict",
+            data=json.dumps({"m": 64, "n": 64, "k": 64}).encode())
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            recovered = resp.status == 200
+            resp.read()
+
+    return {"max_queue": 2,
+            "burst_clients": 12,
+            "responses_200": counts["200"],
+            "responses_429": counts["429"],
+            "responses_other": counts["other"],
+            "retry_after_headers": sorted(set(retry_after)),
+            "recovered_after_burst": bool(recovered),
+            "backpressure_ok": counts["429"] >= 1 and counts["other"] == 0
+            and len(retry_after) == counts["429"] and bool(recovered)}
+
+
 def run_smoke() -> dict:
     """Seconds-long CI configuration: asserts direction, not magnitude."""
     result = run_bench(clients=8, requests_per_client=12)
     result["smoke"] = True
     result["speedup_target"] = 1.0
+    result["sustained"] = run_sustained(duration_s=1.5, clients=4,
+                                        p99_limit_s=SMOKE_P99_LIMIT_S)
+    result["saturation"] = run_saturation()
     return result
 
 
@@ -137,6 +297,23 @@ def test_dynamic_batcher_beats_per_request_loop(benchmark):
     assert result["speedup"] >= SPEEDUP_TARGET
 
 
+@pytest.mark.slow
+def test_sustained_load_meets_p99_slo():
+    """Client-observed p99 under the SLO across a 5s load window."""
+    result = run_sustained()
+    print(json.dumps(result, indent=2))
+    assert result["non_200_responses"] == 0
+    assert result["p99_ok"]
+    assert result["server_latency"]["count"] > 0
+
+
+@pytest.mark.slow
+def test_saturated_route_backpressures_with_429():
+    result = run_saturation()
+    print(json.dumps(result, indent=2))
+    assert result["backpressure_ok"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=16)
@@ -144,9 +321,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch-size", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="sustained-load window in seconds (default 5)")
+    parser.add_argument("--p99-limit", type=float, default=P99_LIMIT_S,
+                        help="sustained-load p99 latency gate in seconds "
+                             f"(default {P99_LIMIT_S:g})")
     parser.add_argument("--smoke", action="store_true",
-                        help="seconds-long CI mode: only asserts the "
-                             "batcher beats the per-request loop at all")
+                        help="seconds-long CI mode: the batcher must beat "
+                             "the per-request loop, sustained p99 stays "
+                             "under a lenient bound, and saturation must "
+                             "answer 429 + Retry-After")
     parser.add_argument("--output", default=None,
                         help="also write the JSON record to this path "
                              "(e.g. BENCH_serving.json)")
@@ -159,20 +343,43 @@ def main(argv: list[str] | None = None) -> int:
                            requests_per_client=args.requests_per_client,
                            max_batch_size=args.max_batch_size,
                            max_wait_ms=args.max_wait_ms, seed=args.seed)
+        result["sustained"] = run_sustained(duration_s=args.duration,
+                                            clients=args.clients,
+                                            max_batch_size=args.max_batch_size,
+                                            max_wait_ms=args.max_wait_ms,
+                                            p99_limit_s=args.p99_limit,
+                                            seed=args.seed)
+        result["saturation"] = run_saturation(seed=args.seed)
     text = json.dumps(result, indent=2)
     print(text)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
+    failed = False
     if not result["identical_predictions"]:
         print("FAIL: served predictions diverge from DSEPredictor",
               file=sys.stderr)
-        return 1
+        failed = True
     if result["speedup"] < result["speedup_target"]:
         print(f"FAIL: speedup {result['speedup']:.2f}x < "
               f"{result['speedup_target']:.1f}x target", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    sustained = result["sustained"]
+    if sustained["non_200_responses"]:
+        print(f"FAIL: sustained load saw "
+              f"{sustained['non_200_responses']} non-200 responses",
+              file=sys.stderr)
+        failed = True
+    if not sustained["p99_ok"]:
+        print(f"FAIL: sustained p99 {sustained['client_p99_ms']:.1f}ms "
+              f"exceeds the {sustained['p99_limit_s'] * 1e3:.0f}ms gate",
+              file=sys.stderr)
+        failed = True
+    if not result["saturation"]["backpressure_ok"]:
+        print("FAIL: saturated route did not backpressure with "
+              "429 + Retry-After", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

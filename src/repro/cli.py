@@ -16,6 +16,10 @@ Examples::
     python -m repro serve --port 8080 --max-batch-size 64 --max-wait-ms 2 \\
         --oracle-cache .repro_cache/oracle_cache.npz
 
+    # Asyncio front-end with bounded admission (429 + Retry-After),
+    # per-request timeouts (504) and graceful drain on Ctrl-C:
+    python -m repro serve --async --max-queue 256 --request-timeout 30
+
     # Multi-model serving from a model registry (routes by the request's
     # "model" field; streaming bulk sweeps via POST /sweep):
     python -m repro serve --registry .repro_cache --sweep-workers 4
@@ -467,6 +471,18 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="run /sweep chunks through an autoscaled "
                              "sharded executor with up to this many worker "
                              "processes (default: in-process)")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="serve through the asyncio front-end (bounded "
+                             "admission, graceful drain) instead of the "
+                             "thread-per-connection server")
+    parser.add_argument("--max-queue", type=int, default=None,
+                        help="bounded per-route admission queue: above this "
+                             "many in-flight requests a route answers HTTP "
+                             "429 with Retry-After (default: unbounded)")
+    parser.add_argument("--request-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="per-request timeout; slower requests answer "
+                             "HTTP 504 (default 60)")
     parser.add_argument("--log-requests", action="store_true",
                         help="log every HTTP request to stderr")
     _add_model_args(parser)
@@ -477,6 +493,10 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--max-wait-ms must be >= 0")
     if args.max_models is not None and args.max_models < 1:
         parser.error("--max-models must be >= 1")
+    if args.max_queue is not None and args.max_queue < 1:
+        parser.error("--max-queue must be >= 1")
+    if args.request_timeout <= 0:
+        parser.error("--request-timeout must be > 0")
     _check_model_args(parser, args, require_model_id=False)
 
     problem = get_problem()
@@ -495,28 +515,35 @@ def serve_main(argv: list[str] | None = None) -> int:
                   micro_batch_size=args.micro_batch, oracle=oracle,
                   max_models=args.max_models,
                   sweep_workers=args.sweep_workers,
+                  max_queue=args.max_queue,
+                  request_timeout_s=args.request_timeout,
                   log_requests=args.log_requests)
+    server_cls = DSEServer
+    if args.use_async:
+        from .serving import AsyncDSEServer
+        server_cls = AsyncDSEServer
     from .registry import RegistryError
     try:
         if args.registry:
             # Multi-model mode: every (or the --model-id listed) artifact
             # in the registry becomes a servable route.
             model_ids = args.model_id.split(",") if args.model_id else None
-            server = DSEServer(registry=args.registry, model_ids=model_ids,
-                               default_model=args.default_model, **common)
+            server = server_cls(registry=args.registry, model_ids=model_ids,
+                                default_model=args.default_model, **common)
             served = model_ids or [a.model_id
                                    for a in server.registry.list()]
             print(f"serving {len(served)} registry model(s) from "
                   f"{args.registry}: {', '.join(sorted(served))} "
                   f"(default {server.default_model!r})", file=sys.stderr)
         else:
-            server = DSEServer(_build_model(args, problem), **common)
+            server = server_cls(_build_model(args, problem), **common)
     except (RegistryError, ValueError) as exc:
         print(f"repro serve: error: {exc}", file=sys.stderr)
         return 2
     host, port = server.address
+    front_end = "asyncio" if args.use_async else "threaded"
     print(f"serving one-shot DSE predictions on http://{host}:{port} "
-          f"(max_batch_size={args.max_batch_size}, "
+          f"({front_end} front-end, max_batch_size={args.max_batch_size}, "
           f"max_wait_ms={args.max_wait_ms:g}); Ctrl-C to stop",
           file=sys.stderr)
     try:

@@ -17,20 +17,29 @@ into a serving stack:
   :class:`~repro.registry.ModelRegistry` of models as :class:`ModelRoute`
   entries (``POST /predict`` routed by ``"model"``, streaming
   ``POST /sweep``, ``GET /models``, ``GET /healthz``, ``GET /stats``)
-  with per-model :class:`ServingStats` accounting throughout.
+  with per-model :class:`ServingStats` accounting throughout — including
+  per-route p50/p95/p99 service-latency via :class:`LatencyHistogram`;
+* :class:`AsyncDSEServer` — the asyncio front-end over the same
+  application layer: bounded per-route admission queues (429 +
+  Retry-After under saturation), per-request timeouts (504), and
+  graceful drain on shutdown, with responses parity-identical to the
+  threaded server.
 
-``python -m repro serve`` is the CLI entry point.
+``python -m repro serve`` (``--async`` for the asyncio front-end) is the
+CLI entry point.
 """
 
+from .async_server import AsyncDSEServer
 from .batcher import DynamicBatcher, RequestQueue, ServedPrediction
 from .cache import PersistentOracleCache, StaleCacheWarning
 from .server import DSEServer, ModelRoute
 from .sharded import AutoscaleDecision, AutoscalePolicy, ShardedSweepExecutor
-from .stats import ServingStats
+from .stats import LatencyHistogram, ServingStats
 
 __all__ = [
     "DynamicBatcher", "RequestQueue", "ServedPrediction",
     "ShardedSweepExecutor", "AutoscalePolicy", "AutoscaleDecision",
     "PersistentOracleCache", "StaleCacheWarning",
-    "DSEServer", "ModelRoute", "ServingStats",
+    "DSEServer", "AsyncDSEServer", "ModelRoute",
+    "ServingStats", "LatencyHistogram",
 ]

@@ -171,11 +171,24 @@ class DynamicBatcher:
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Close the queue, drain pending requests, join the worker."""
+        """Close the queue, drain pending requests, join the worker.
+
+        Raises :class:`TimeoutError` if the worker is still draining when
+        ``timeout`` expires.  The thread handle is kept in that case, so
+        :attr:`running` stays truthful and a later :meth:`start` can
+        never race a second worker onto the same queue — call ``stop()``
+        again once the engine catches up.
+        """
         self.queue.close()
-        if self._thread is not None:
-            self._thread.join(timeout)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout)
+        if thread.is_alive():
+            raise TimeoutError(
+                f"batcher worker still draining after {timeout:g}s; "
+                f"call stop() again once the engine catches up")
+        self._thread = None
 
     def __enter__(self) -> "DynamicBatcher":
         return self.start()
@@ -200,8 +213,10 @@ class DynamicBatcher:
         """Enqueue one workload; the future resolves to a
         :class:`ServedPrediction` once its batch has been served."""
         pending = _Pending(self._validated_row(m, n, k, dataflow))
-        self.stats.record_request()
+        # Enqueue first: a put on a closed queue raises, and a request
+        # that never entered the queue must not skew /stats accounting.
         self.queue.put(pending)
+        self.stats.record_request()
         return pending.future
 
     def predict(self, m: int, n: int, k: int, dataflow: int = 0,
@@ -221,10 +236,19 @@ class DynamicBatcher:
         """
         rows = [self._validated_row(m, n, k, df)
                 for m, n, k, df in workloads]
+        if not rows:
+            raise ValueError("'workloads' must be a non-empty list")
         self.stats.record_request(len(rows))
         inputs = np.stack(rows)
-        pe_idx, l2_idx = self.engine.predict_indices(inputs)
-        num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
+        try:
+            pe_idx, l2_idx = self.engine.predict_indices(inputs)
+            num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
+        except Exception:
+            self.stats.record_error()
+            raise
+        # An empty waits tuple is deliberate: bulk rows never queue, so
+        # they add to the batch counters without touching queued_samples
+        # (the wait-percentile denominator).
         self.stats.record_batch(len(rows), ())
         return [ServedPrediction(
                     m=int(row[0]), n=int(row[1]), k=int(row[2]),
@@ -246,6 +270,16 @@ class DynamicBatcher:
             self._serve_batch(batch)
 
     def _serve_batch(self, batch: list[_Pending]) -> None:
+        # Claim every future before touching the engine: a client that
+        # timed out and cancelled must neither burn an engine row nor —
+        # via set_result on a cancelled future — raise InvalidStateError
+        # and kill this worker (hanging every later request).  Once
+        # claimed, a future can no longer be cancelled, so the
+        # set_result/set_exception below are race-free.
+        batch = [p for p in batch
+                 if p.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
         served_at = time.perf_counter()
         inputs = np.stack([p.row for p in batch])
         try:

@@ -55,6 +55,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -80,6 +81,26 @@ class _BadRequest(ValueError):
 
 class _NotFound(ValueError):
     """Unknown route or model: reported as HTTP 404."""
+
+
+class _Backpressure(Exception):
+    """A route's bounded admission queue is full: HTTP 429 + Retry-After."""
+
+    def __init__(self, route_name: str, max_queue: int, retry_after_s: float):
+        self.route_name = route_name
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"route {route_name!r} admission queue is full "
+            f"(max_queue={max_queue}); retry after {retry_after_s:g}s")
+
+    @property
+    def retry_after_header(self) -> str:
+        return str(max(1, -(-int(self.retry_after_s * 1000) // 1000)))
+
+
+class _RequestTimeout(Exception):
+    """A request exceeded the per-route timeout: HTTP 504."""
 
 
 def _parse_workloads(doc, limit: int = _MAX_WORKLOADS_PER_REQUEST) \
@@ -128,12 +149,16 @@ class ModelRoute:
     def __init__(self, name: str, model: AirchitectV2, *,
                  max_batch_size: int, max_wait_ms: float,
                  micro_batch_size: int, source: str = "direct",
-                 sweep_workers: int | None = None):
+                 sweep_workers: int | None = None,
+                 max_queue: int | None = None):
         self.name = name
         self.model = model
         self.problem = model.problem
         self.source = source
         self.sweep_workers = sweep_workers
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._admission_lock = threading.Lock()
         self.stats = ServingStats()
         self.last_served = time.time()
         self.engine = BatchedDSEPredictor(
@@ -164,6 +189,28 @@ class ModelRoute:
     def executor(self) -> ShardedSweepExecutor | None:
         return self._executor
 
+    # ------------------------------------------------------------------
+    # Admission control (the bounded per-route queue)
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted (queued or being served)."""
+        with self._admission_lock:
+            return self._inflight
+
+    def try_admit(self) -> bool:
+        """Claim one admission slot; ``False`` once ``max_queue`` are
+        in flight (the caller answers 429 instead of queueing)."""
+        with self._admission_lock:
+            if self.max_queue is not None and self._inflight >= self.max_queue:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._admission_lock:
+            self._inflight = max(0, self._inflight - 1)
+
     def start(self) -> None:
         self.batcher.start()
 
@@ -177,6 +224,8 @@ class ModelRoute:
     def stats_snapshot(self) -> dict:
         doc = self.stats.snapshot()
         doc["source"] = self.source
+        doc["inflight"] = self.inflight
+        doc["max_queue"] = self.max_queue
         if self._executor is not None:
             doc["autoscale"] = list(self._executor.decision_trace)
         return doc
@@ -191,11 +240,14 @@ class _ServingHandler(BaseHTTPRequestHandler):
         if self.server.dse.log_requests:  # pragma: no cover - verbose mode
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, doc: dict) -> None:
+    def _send_json(self, status: int, doc: dict,
+                   extra_headers=()) -> None:
         body = json.dumps(doc).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
         if status >= 400:
             # Error paths may not have drained the request body; under
             # HTTP/1.1 keep-alive the unread bytes would desync the next
@@ -259,6 +311,13 @@ class _ServingHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(exc)})
         except _BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
+        except _Backpressure as exc:
+            self._send_json(429, {"error": str(exc)},
+                            extra_headers=[("Retry-After",
+                                            exc.retry_after_header)])
+        except _RequestTimeout as exc:
+            dse.record_error()
+            self._send_json(504, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive 500 path
             dse.record_error()
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
@@ -301,6 +360,9 @@ class _ServingHandler(BaseHTTPRequestHandler):
             except ConnectionError:
                 pass
             self.close_connection = True
+        finally:
+            if hasattr(lines, "close"):
+                lines.close()   # abandoned mid-stream: release admission
 
 
 class _ServingHTTPServer(ThreadingHTTPServer):
@@ -349,6 +411,14 @@ class DSEServer:
         Give each route an autoscaled :class:`ShardedSweepExecutor` with
         this many max workers for ``POST /sweep`` chunks (default: sweep
         in-process).
+    max_queue:
+        Bounded per-route admission queue: above this many in-flight
+        requests (queued or being served) a route answers HTTP 429 with
+        a ``Retry-After`` header instead of queueing unboundedly
+        (default: unbounded, the pre-admission-control behaviour).
+    retry_after_s:
+        The backoff hint sent with 429 responses (default 1s; the
+        ``Retry-After`` header rounds it up to whole seconds).
     """
 
     def __init__(self, model: AirchitectV2 | None = None,
@@ -362,7 +432,9 @@ class DSEServer:
                  model_ids: list[str] | None = None,
                  default_model: str | None = None,
                  max_models: int | None = None,
-                 sweep_workers: int | None = None):
+                 sweep_workers: int | None = None,
+                 max_queue: int | None = None,
+                 retry_after_s: float = 1.0):
         if model is None and registry is None:
             raise ValueError("DSEServer needs a model or a registry")
         if isinstance(registry, (str, bytes)) or hasattr(registry, "__fspath__"):
@@ -378,6 +450,8 @@ class DSEServer:
         self.micro_batch_size = micro_batch_size or max(max_batch_size, 1024)
         self.max_models = max_models
         self.sweep_workers = sweep_workers
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
         self._model_ids = list(model_ids) if model_ids is not None else None
         self._errors = ServingStats()   # routing/transport-level failures
         self.routes: dict[str, ModelRoute] = {}
@@ -397,6 +471,10 @@ class DSEServer:
             else:
                 raise ValueError("registry has no servable artifacts and no "
                                  "default_model was given")
+        self._make_transport(host, port)
+
+    def _make_transport(self, host: str, port: int) -> None:
+        """Bind the HTTP transport (overridden by the asyncio server)."""
         self._httpd = _ServingHTTPServer((host, port), self)
         self._thread: threading.Thread | None = None
 
@@ -429,7 +507,8 @@ class DSEServer:
         route = ModelRoute(name, model, max_batch_size=self.max_batch_size,
                            max_wait_ms=self.max_wait_ms,
                            micro_batch_size=self.micro_batch_size,
-                           source=source, sweep_workers=self.sweep_workers)
+                           source=source, sweep_workers=self.sweep_workers,
+                           max_queue=self.max_queue)
         with self._route_lock:
             if name in self.routes:
                 raise ValueError(f"model {name!r} is already served")
@@ -485,7 +564,8 @@ class DSEServer:
                     name, loaded, max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms,
                     micro_batch_size=self.micro_batch_size,
-                    source="registry", sweep_workers=self.sweep_workers)
+                    source="registry", sweep_workers=self.sweep_workers,
+                    max_queue=self.max_queue)
                 self.routes[name] = route
                 if self._running:
                     route.start()
@@ -527,12 +607,30 @@ class DSEServer:
     # /predict
     # ------------------------------------------------------------------
     def handle_predict(self, doc) -> dict:
-        """Serve one ``/predict`` body through its route's batcher."""
+        """Serve one ``/predict`` body through its route's batcher.
+
+        Admission is bounded per route (``max_queue``): a full queue
+        raises :class:`_Backpressure` (HTTP 429 + Retry-After) instead
+        of queueing unboundedly, and every admitted request's service
+        latency lands in the route's p50/p95/p99 histogram.
+        """
         rows = _parse_workloads(doc)
         is_dict = isinstance(doc, dict)
         route = self._route(doc.get("model") if is_dict else None)
-        with_cost = bool(is_dict and doc.get("with_cost"))
-        with_oracle = bool(is_dict and doc.get("with_oracle"))
+        if not route.try_admit():
+            raise _Backpressure(route.name, route.max_queue,
+                                self.retry_after_s)
+        start = time.perf_counter()
+        try:
+            return self._predict_admitted(route, rows, doc if is_dict else {})
+        finally:
+            route.release()
+            route.stats.record_latency(time.perf_counter() - start)
+
+    def _predict_admitted(self, route: ModelRoute, rows, doc: dict) -> dict:
+        with_cost = bool(doc.get("with_cost"))
+        with_oracle = bool(doc.get("with_oracle"))
+        futures = []
         try:
             if len(rows) > route.batcher.max_batch_size:
                 # Bulk bodies go straight to the vectorised engine; the
@@ -542,6 +640,12 @@ class DSEServer:
                 futures = [route.batcher.submit(m, n, k, df)
                            for m, n, k, df in rows]
                 served = [f.result(self.request_timeout_s) for f in futures]
+        except FutureTimeout:
+            for future in futures:
+                future.cancel()     # unserved rows must not burn the engine
+            raise _RequestTimeout(
+                f"route {route.name!r} request timed out after "
+                f"{self.request_timeout_s:g}s") from None
         except ValueError as exc:
             raise _BadRequest(str(exc)) from None
         predictions = [s.as_dict() for s in served]
@@ -611,7 +715,21 @@ class DSEServer:
         if not 1 <= chunk_size <= _MAX_SWEEP_CHUNK:
             raise _BadRequest(f"'chunk_size' must be in 1..{_MAX_SWEEP_CHUNK}")
         with_cost = bool(doc.get("with_cost"))
-        return self._iter_sweep(route, inputs, chunk_size, with_cost)
+        # Admit last, after every validation error had its chance to
+        # surface — a rejected body must not leak an admission slot.
+        if not route.try_admit():
+            raise _Backpressure(route.name, route.max_queue,
+                                self.retry_after_s)
+        return self._released_after(
+            route, self._iter_sweep(route, inputs, chunk_size, with_cost))
+
+    @staticmethod
+    def _released_after(route: ModelRoute, chunks):
+        """Hold the route's admission slot for the generator's lifetime."""
+        try:
+            yield from chunks
+        finally:
+            route.release()
 
     def _iter_sweep(self, route: ModelRoute, inputs: np.ndarray,
                     chunk_size: int, with_cost: bool):

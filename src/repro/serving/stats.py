@@ -3,8 +3,10 @@
 Each served model owns one :class:`ServingStats`: its
 :class:`~repro.serving.DynamicBatcher` records per-request queue waits and
 per-batch sizes, the engine's ``on_batch`` hook
-(:class:`repro.core.BatchedDSEPredictor`) records raw forward passes, and
-the streaming sweep endpoint records per-sweep row/chunk counts.
+(:class:`repro.core.BatchedDSEPredictor`) records raw forward passes, the
+streaming sweep endpoint records per-sweep row/chunk counts, and the HTTP
+front-ends record whole-request service latency into a
+:class:`LatencyHistogram` (p50/p95/p99 per route).
 ``GET /stats`` serialises one snapshot per model plus an aggregate built
 with :meth:`ServingStats.merge_snapshots`.  An optional attached oracle
 contributes its label-cache hit rate.
@@ -12,12 +14,104 @@ contributes its label-cache hit rate.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 
 from ..dse import ExhaustiveOracle
 
-__all__ = ["ServingStats"]
+__all__ = ["LatencyHistogram", "ServingStats"]
+
+
+def _geometric_bounds(min_s: float, growth: float, count: int) -> list[float]:
+    bounds, edge = [], min_s
+    for _ in range(count):
+        bounds.append(edge)
+        edge *= growth
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed geometric-bucket latency histogram with O(1) records.
+
+    64 buckets spanning 50 microseconds to ~64 seconds (ratio 1.25), plus
+    an overflow bucket: enough resolution for p50/p95/p99 under serving
+    load without per-request allocation or unbounded sample storage.
+    Percentiles report the upper edge of the bucket holding the target
+    rank (clamped to the maximum observed sample), so they are
+    conservative estimates within one bucket ratio of the true value.
+
+    Not thread-safe on its own: :class:`ServingStats` serialises access
+    under its lock.  Snapshots carry the raw bucket counts so
+    :meth:`merge_snapshots` can recompute aggregate percentiles from
+    summed counts instead of averaging averages.
+    """
+
+    _BOUNDS = _geometric_bounds(5e-5, 1.25, 64)     # upper bucket edges, s
+
+    def __init__(self):
+        self._counts = [0] * (len(self._BOUNDS) + 1)    # +1: overflow
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        self._counts[bisect.bisect_left(self._BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q`` in [0, 100] percentile estimate in seconds."""
+        return self._percentile_of(self._counts, q, self.max_s)
+
+    @classmethod
+    def _percentile_of(cls, counts, q: float, max_s: float) -> float:
+        total = sum(counts)
+        if not total:
+            return 0.0
+        target = max(1, -(-int(total * q) // 100))      # ceil(total*q/100)
+        seen = 0
+        for i, bucket in enumerate(counts):
+            seen += bucket
+            if seen >= target:
+                edge = cls._BOUNDS[i] if i < len(cls._BOUNDS) else max_s
+                return min(edge, max_s)
+        return max_s
+
+    def snapshot(self) -> dict:
+        """JSON-ready percentiles plus the raw buckets (for merging)."""
+        return self._render(list(self._counts), self.count, self.total_s,
+                            self.max_s)
+
+    @classmethod
+    def _render(cls, counts, count, total_s, max_s) -> dict:
+        return {"count": count,
+                "mean_ms": (total_s / count if count else 0.0) * 1e3,
+                "p50_ms": cls._percentile_of(counts, 50, max_s) * 1e3,
+                "p95_ms": cls._percentile_of(counts, 95, max_s) * 1e3,
+                "p99_ms": cls._percentile_of(counts, 99, max_s) * 1e3,
+                "max_ms": max_s * 1e3,
+                "buckets": counts}
+
+    @classmethod
+    def merge_snapshots(cls, docs) -> dict:
+        """Aggregate snapshot dicts: sum buckets, recompute percentiles."""
+        docs = [d for d in docs if d and d.get("buckets")]
+        counts = [0] * (len(cls._BOUNDS) + 1)
+        for doc in docs:
+            for i, bucket in enumerate(doc["buckets"][:len(counts)]):
+                counts[i] += bucket
+        return cls._render(counts,
+                           sum(d["count"] for d in docs),
+                           sum(d["mean_ms"] / 1e3 * d["count"] for d in docs),
+                           max((d["max_ms"] / 1e3 for d in docs),
+                               default=0.0))
 
 
 class ServingStats:
@@ -42,6 +136,7 @@ class ServingStats:
         self.sweep_rows_total = 0
         self.sweep_chunks_total = 0
         self.errors_total = 0
+        self.latency = LatencyHistogram()
 
     # ------------------------------------------------------------------
     def record_request(self, count: int = 1) -> None:
@@ -77,6 +172,11 @@ class ServingStats:
         with self._lock:
             self.errors_total += 1
 
+    def record_latency(self, seconds: float) -> None:
+        """One served request's whole-service latency (HTTP front-ends)."""
+        with self._lock:
+            self.latency.record(seconds)
+
     # ------------------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
@@ -108,6 +208,7 @@ class ServingStats:
                 "sweep_rows_total": self.sweep_rows_total,
                 "sweep_chunks_total": self.sweep_chunks_total,
                 "errors_total": self.errors_total,
+                "latency": self.latency.snapshot(),
             }
         if self.oracle is not None:
             info = self.oracle.cache_info()
@@ -138,4 +239,6 @@ class ServingStats:
             if merged["queued_samples"] else 0.0)
         merged["max_queue_wait_ms"] = max(
             (s["max_queue_wait_ms"] for s in snapshots), default=0.0)
+        merged["latency"] = LatencyHistogram.merge_snapshots(
+            s.get("latency") for s in snapshots)
         return merged

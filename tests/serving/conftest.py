@@ -7,6 +7,9 @@ exercises the stack exactly as a trained one would, in milliseconds.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,36 @@ from repro.core import AirchitectV2, ModelConfig
 
 SERVE_MODEL_CONFIG = ModelConfig(d_model=16, n_layers=1, n_heads=2,
                                  embed_dim=8)
+
+_TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _serving_test_timeout(request):
+    """Hard per-test timeout for the serving suite.
+
+    The suite is all threads, queues and sockets — a deadlock would
+    otherwise hang CI until the job-level timeout.  SIGALRM interrupts
+    the stuck test with a plain failure instead (main thread + POSIX
+    only; elsewhere the fixture is a no-op and the CI job timeout is
+    the backstop).
+    """
+    if not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(f"serving test exceeded the {_TEST_TIMEOUT_S}s "
+                    f"per-test timeout (likely deadlock)", pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

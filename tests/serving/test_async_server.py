@@ -1,0 +1,393 @@
+"""AsyncDSEServer: parity with the threaded server, plus the SLO
+machinery it adds — bounded admission (429 + Retry-After), per-request
+timeouts (504), latency histograms in /stats, and graceful drain."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import AirchitectV2
+from repro.serving import AsyncDSEServer, DSEServer
+
+from .conftest import SERVE_MODEL_CONFIG
+
+TRANSIENT_KEYS = ("queue_wait_ms",)     # timing-dependent, never parity
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _post(server, path, doc, timeout=30):
+    req = urllib.request.Request(server.url + path,
+                                 data=json.dumps(doc).encode())
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _strip_transient(body: bytes) -> dict:
+    doc = json.loads(body)
+    for pred in doc.get("predictions", ()):
+        for key in TRANSIENT_KEYS:
+            pred.pop(key, None)
+    return doc
+
+
+@pytest.fixture
+def async_server(serve_model):
+    srv = AsyncDSEServer(serve_model, port=0, max_batch_size=16,
+                         max_wait_ms=2)
+    with srv:
+        yield srv
+
+
+@pytest.fixture
+def threaded_server(serve_model):
+    srv = DSEServer(serve_model, port=0, max_batch_size=16, max_wait_ms=2)
+    with srv:
+        yield srv
+
+
+@pytest.fixture
+def second_model(problem) -> AirchitectV2:
+    return AirchitectV2(SERVE_MODEL_CONFIG, problem,
+                        np.random.default_rng(777))
+
+
+class TestParityWithThreadedServer:
+    """Route-by-route parity: the async transport must serve the exact
+    same (deterministic) bytes as the threaded one."""
+
+    def test_predict_single_routed_and_bulk(self, async_server,
+                                            threaded_server, problem):
+        inputs = problem.sample_inputs(40, np.random.default_rng(21))
+        workloads = [{"m": int(r[0]), "n": int(r[1]), "k": int(r[2]),
+                      "dataflow": int(r[3])} for r in inputs]
+        bodies = [
+            {"m": 64, "n": 512, "k": 256, "dataflow": 1},        # single
+            {"workloads": workloads[:8], "model": "default"},    # routed
+            {"workloads": workloads, "with_cost": True},         # bulk >16
+        ]
+        for body in bodies:
+            s_async, b_async = _post(async_server, "/predict", body)
+            s_thread, b_thread = _post(threaded_server, "/predict", body)
+            assert s_async == s_thread == 200
+            assert _strip_transient(b_async) == _strip_transient(b_thread)
+
+    def test_models_listing_identical(self, serve_model):
+        with AsyncDSEServer(serve_model, port=0) as a, \
+                DSEServer(serve_model, port=0) as t:
+            s_async, b_async = _get(a, "/models")
+            s_thread, b_thread = _get(t, "/models")
+        assert s_async == s_thread == 200
+        assert b_async == b_thread
+
+    def test_sweep_stream_byte_identical_up_to_summary(self, async_server,
+                                                       threaded_server):
+        body = {"random": 96, "seed": 7, "chunk_size": 32, "with_cost": True}
+        _, b_async = _post(async_server, "/sweep", body)
+        _, b_thread = _post(threaded_server, "/sweep", body)
+        lines_async = b_async.splitlines()
+        lines_thread = b_thread.splitlines()
+        # Header + every prediction chunk are byte-identical; only the
+        # summary's elapsed/throughput fields are timing-dependent.
+        assert lines_async[:-1] == lines_thread[:-1]
+        summary_async = json.loads(lines_async[-1])
+        summary_thread = json.loads(lines_thread[-1])
+        for key in ("elapsed_s", "samples_per_sec"):
+            summary_async.pop(key), summary_thread.pop(key)
+        assert summary_async == summary_thread
+
+    def test_sweep_content_type_and_ndjson_framing(self, async_server):
+        req = urllib.request.Request(
+            async_server.url + "/sweep",
+            data=json.dumps({"random": 40, "seed": 3,
+                             "chunk_size": 16}).encode())
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in resp.read().splitlines()]
+        assert lines[0]["chunks"] == 3
+        assert [c["count"] for c in lines[1:-1]] == [16, 16, 8]
+        assert lines[-1]["done"]
+
+    def test_error_responses_identical(self, async_server, threaded_server):
+        cases = [("/predict", {"workloads": []}, 400),
+                 ("/predict", {"m": 8, "n": 8, "k": 8, "model": "ghost"},
+                  404),
+                 ("/predict", "not an object", 400),
+                 ("/sweep", {"random": 0}, 400),
+                 ("/sweep", {"random": 8, "model": "ghost"}, 404),
+                 ("/nope", {"m": 8, "n": 8, "k": 8}, 404)]
+        for path, body, expected in cases:
+            s_async, b_async = _post(async_server, path, body)
+            s_thread, b_thread = _post(threaded_server, path, body)
+            assert s_async == s_thread == expected, (path, body)
+            assert b_async == b_thread, (path, body)
+
+    def test_multi_model_routing_parity(self, serve_model, second_model,
+                                        problem):
+        inputs = problem.sample_inputs(24, np.random.default_rng(5))
+        workloads = [{"m": int(r[0]), "n": int(r[1]), "k": int(r[2]),
+                      "dataflow": int(r[3])} for r in inputs]
+        results = {}
+        for cls in (AsyncDSEServer, DSEServer):
+            srv = cls(serve_model, port=0, max_batch_size=16, max_wait_ms=2,
+                      default_model="alpha")
+            srv.add_model("beta", second_model)
+            with srv:
+                results[cls] = {
+                    name: _strip_transient(_post(srv, "/predict",
+                                                 {"workloads": workloads,
+                                                  "model": name})[1])
+                    for name in ("alpha", "beta")}
+        assert results[AsyncDSEServer] == results[DSEServer]
+        assert results[AsyncDSEServer]["alpha"]["predictions"] \
+            != results[AsyncDSEServer]["beta"]["predictions"]
+
+    def test_invalid_content_length_parity(self, async_server,
+                                           threaded_server):
+        responses = {}
+        for srv in (async_server, threaded_server):
+            host, port = srv.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.putrequest("POST", "/predict")
+                conn.putheader("Content-Length", "abc")
+                conn.endheaders()
+                resp = conn.getresponse()
+                responses[srv] = (resp.status, resp.read())
+            finally:
+                conn.close()
+        assert responses[async_server] == responses[threaded_server]
+        assert responses[async_server][0] == 400
+
+
+class TestKeepAlive:
+    def test_sequential_requests_reuse_one_connection(self, async_server):
+        host, port = async_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(3):
+                body = json.dumps({"m": 8, "n": 8, "k": 8})
+                conn.request("POST", "/predict", body)
+                resp = conn.getresponse()
+                assert resp.status == 200
+                assert json.loads(resp.read())["count"] == 1
+        finally:
+            conn.close()
+
+    def test_error_responses_close_the_connection(self, async_server):
+        host, port = async_server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/predict")
+            conn.putheader("Content-Length", str(9 << 20))   # over the cap
+            conn.endheaders()
+            conn.send(b"x" * 128)       # body the server never reads
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+        finally:
+            conn.close()
+        assert _get(async_server, "/healthz")[0] == 200
+
+
+class _Gate:
+    """Patch a route's engine so forward passes block until released."""
+
+    def __init__(self, route):
+        self.route = route
+        self.real = route.engine.predict_indices
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        route.engine.predict_indices = self._gated
+
+    def _gated(self, inputs):
+        self.entered.set()
+        assert self.release.wait(30), "test never released the gate"
+        return self.real(inputs)
+
+    def restore(self):
+        self.release.set()
+        self.route.engine.predict_indices = self.real
+
+
+class TestBackpressure:
+    def test_saturated_route_answers_429_with_retry_after(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0, max_batch_size=4,
+                             max_wait_ms=1, max_queue=1, retry_after_s=2.0)
+        gate = _Gate(srv._route(None))
+        with srv:
+            try:
+                results = {}
+
+                def occupant():
+                    results["first"] = _post(srv, "/predict",
+                                             {"m": 8, "n": 8, "k": 8})
+
+                thread = threading.Thread(target=occupant)
+                thread.start()
+                assert gate.entered.wait(10)    # slot held mid-forward-pass
+                status, body = _post(srv, "/predict",
+                                     {"m": 16, "n": 16, "k": 16})
+                assert status == 429
+                doc = json.loads(body)
+                assert "admission queue is full" in doc["error"]
+                assert "max_queue=1" in doc["error"]
+                # And the header itself, via a raw connection.
+                host, port = srv.address
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                try:
+                    conn.request("POST", "/predict",
+                                 json.dumps({"m": 8, "n": 8, "k": 8}))
+                    resp = conn.getresponse()
+                    assert resp.status == 429
+                    assert resp.getheader("Retry-After") == "2"
+                    resp.read()
+                finally:
+                    conn.close()
+                gate.restore()
+                thread.join(10)
+                assert results["first"][0] == 200
+                # Load subsided: the route admits again.
+                assert _post(srv, "/predict",
+                             {"m": 8, "n": 8, "k": 8})[0] == 200
+            finally:
+                gate.restore()
+
+    def test_rejected_requests_never_reach_the_batcher(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0, max_batch_size=4,
+                             max_wait_ms=1, max_queue=1)
+        route = srv._route(None)
+        gate = _Gate(route)
+        with srv:
+            try:
+                thread = threading.Thread(
+                    target=_post, args=(srv, "/predict",
+                                        {"m": 8, "n": 8, "k": 8}))
+                thread.start()
+                assert gate.entered.wait(10)
+                for _ in range(3):
+                    assert _post(srv, "/predict",
+                                 {"m": 8, "n": 8, "k": 8})[0] == 429
+                gate.restore()
+                thread.join(10)
+            finally:
+                gate.restore()
+        # Only the admitted request was ever counted.
+        assert route.stats.requests_total == 1
+
+
+class TestRequestTimeout:
+    def test_slow_route_answers_504(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0, max_batch_size=4,
+                             max_wait_ms=1, request_timeout_s=0.3)
+        gate = _Gate(srv._route(None))
+        with srv:
+            try:
+                status, body = _post(srv, "/predict",
+                                     {"m": 8, "n": 8, "k": 8})
+                assert status == 504
+                assert "timed out" in json.loads(body)["error"]
+            finally:
+                gate.restore()
+
+    def test_timeout_counts_as_an_error_in_stats(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0, max_batch_size=4,
+                             max_wait_ms=1, request_timeout_s=0.3)
+        gate = _Gate(srv._route(None))
+        with srv:
+            try:
+                _post(srv, "/predict", {"m": 8, "n": 8, "k": 8})
+                gate.restore()
+                _, body = _get(srv, "/stats")
+                assert json.loads(body)["errors_total"] >= 1
+            finally:
+                gate.restore()
+
+
+class TestStatsLatency:
+    def test_per_route_latency_percentiles(self, async_server):
+        for i in range(5):
+            _post(async_server, "/predict", {"m": 8 + i, "n": 8, "k": 8})
+        _, body = _get(async_server, "/stats")
+        stats = json.loads(body)
+        latency = stats["models"]["default"]["latency"]
+        assert latency["count"] == 5
+        assert 0 < latency["p50_ms"] <= latency["p95_ms"] \
+            <= latency["p99_ms"]
+        assert latency["p99_ms"] <= latency["max_ms"] * 1.26
+        # The aggregate view merges the per-route buckets.
+        assert stats["latency"]["count"] == 5
+        assert stats["models"]["default"]["inflight"] == 0
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_and_new_requests_are_rejected(
+            self, serve_model):
+        # max_queue=1: polls that sneak in before the listener closes
+        # answer 429 instantly instead of queueing behind the gate.
+        srv = AsyncDSEServer(serve_model, port=0, max_batch_size=4,
+                             max_wait_ms=1, drain_timeout_s=10.0,
+                             max_queue=1)
+        gate = _Gate(srv._route(None))
+        srv.start()
+        results = {}
+        try:
+            def inflight():
+                results["inflight"] = _post(srv, "/predict",
+                                            {"m": 8, "n": 8, "k": 8})
+
+            client = threading.Thread(target=inflight)
+            client.start()
+            assert gate.entered.wait(10)        # request is mid-engine
+            shutter = threading.Thread(target=srv.shutdown)
+            shutter.start()
+            deadline = time.perf_counter() + 10.0
+            refused = False
+            while time.perf_counter() < deadline and not refused:
+                try:
+                    # New connections are refused once draining starts.
+                    # Short client timeout: a connect that races into the
+                    # closing listener's accept backlog is never served
+                    # (orphaned, not reset) — that hang is also rejection.
+                    _post(srv, "/predict", {"m": 8, "n": 8, "k": 8},
+                          timeout=2)
+                    time.sleep(0.05)
+                except (ConnectionError, OSError, urllib.error.URLError):
+                    refused = True      # TimeoutError is an OSError too
+            assert refused
+            gate.restore()                      # let the in-flight finish
+            client.join(15)
+            shutter.join(15)
+            assert not shutter.is_alive()
+            assert results["inflight"][0] == 200
+        finally:
+            gate.restore()
+            srv.shutdown()
+
+    def test_shutdown_is_idempotent(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0)
+        srv.start()
+        srv.shutdown()
+        srv.shutdown()
+
+    def test_shutdown_without_start(self, serve_model):
+        srv = AsyncDSEServer(serve_model, port=0)
+        srv.shutdown()

@@ -118,6 +118,120 @@ class TestParityAndResults:
         assert (result.m, result.n, result.k) == (b.m_max, b.n_max, b.k_max)
 
 
+class _GatedEngine:
+    """Duck-typed engine whose forward pass blocks until released."""
+
+    def __init__(self, problem):
+        self.problem = problem
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def predict_indices(self, inputs):
+        self.entered.set()
+        assert self.release.wait(30), "test never released the gate"
+        zeros = np.zeros(len(inputs), dtype=np.int64)
+        return zeros, zeros
+
+
+class TestCancelledFutures:
+    def test_cancelled_future_does_not_kill_the_worker(self, serve_model,
+                                                       problem, rng):
+        """Regression: set_result on a cancelled future raised
+        InvalidStateError, killing the batcher thread and hanging every
+        subsequent request on the route."""
+        batcher = _batcher(serve_model, max_batch_size=4, max_wait_ms=10)
+        inputs = problem.sample_inputs(6, rng)
+        futures = [batcher.submit(*map(int, row)) for row in inputs]
+        assert futures[2].cancel()          # a client times out mid-queue
+        batcher.start()
+        for i, future in enumerate(futures):
+            if i == 2:
+                assert future.cancelled()
+            else:
+                assert future.result(10) is not None
+        # The worker survived the cancelled future and keeps serving.
+        assert batcher.running
+        assert batcher.predict(8, 8, 8, timeout=10).num_pes > 0
+        batcher.stop()
+
+    def test_fully_cancelled_batch_is_skipped(self, serve_model, problem,
+                                              rng):
+        batcher = _batcher(serve_model, max_batch_size=4, max_wait_ms=10)
+        futures = [batcher.submit(*map(int, row))
+                   for row in problem.sample_inputs(3, rng)]
+        for future in futures:
+            assert future.cancel()
+        batcher.start()
+        assert batcher.predict(8, 8, 8, timeout=10) is not None
+        batcher.stop()
+        # Cancelled rows never reached the engine or the batch counters.
+        assert batcher.stats.samples_total == 1
+
+
+class TestStopTimeout:
+    def test_stop_raises_and_stays_running_when_join_times_out(
+            self, problem):
+        """Regression: stop() cleared the thread handle even when join()
+        expired, so `running` lied and a second start() could race a new
+        worker onto the same queue."""
+        engine = _GatedEngine(problem)
+        batcher = DynamicBatcher(engine, max_batch_size=4, max_wait_ms=1)
+        future = batcher.submit(8, 8, 8)
+        assert engine.entered.wait(10)      # worker is mid-forward-pass
+        with pytest.raises(TimeoutError, match="still draining"):
+            batcher.stop(timeout=0.05)
+        assert batcher.running              # the worker is still alive
+        # start() must not spawn a second worker racing the first.
+        batcher.start()
+        assert threading.active_count() >= 1
+        engine.release.set()
+        batcher.stop(timeout=10)            # now the drain completes
+        assert not batcher.running
+        assert future.result(1) is not None
+
+
+class TestStatsAccounting:
+    def test_submit_on_closed_queue_records_nothing(self, serve_model):
+        """Regression: submit() counted the request before the enqueue,
+        so a put on a closed queue skewed requests vs served."""
+        batcher = _batcher(serve_model, start=True)
+        batcher.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(8, 8, 8)
+        assert batcher.stats.requests_total == 0
+
+    def test_empty_waits_do_not_poison_wait_percentiles(self):
+        stats = ServingStats()
+        stats.record_batch(3, ())           # the bulk fast path: no queue
+        assert stats.queued_samples == 0
+        assert stats.mean_queue_wait_s == 0.0
+        stats.record_batch(2, (0.5, 0.5))
+        assert stats.queued_samples == 2
+        assert stats.mean_queue_wait_s == pytest.approx(0.5)
+
+    def test_predict_batch_engine_failure_counts_an_error(self, serve_model,
+                                                          problem):
+        batcher = _batcher(serve_model, start=False)
+
+        def boom(inputs):
+            raise RuntimeError("engine down")
+
+        batcher.engine.predict_indices = boom
+        with pytest.raises(RuntimeError, match="engine down"):
+            batcher.predict_batch([(8, 8, 8, 0)])
+        assert batcher.stats.errors_total == 1
+
+
+class TestEmptyBatch:
+    def test_predict_batch_rejects_empty_workloads(self, serve_model):
+        """Regression: an empty list hit np.stack([]) and escaped as a
+        numpy traceback (a 500 at the server layer)."""
+        batcher = _batcher(serve_model, start=False)
+        with pytest.raises(ValueError, match="non-empty"):
+            batcher.predict_batch([])
+        assert batcher.stats.requests_total == 0
+
+
 class TestValidationAndLifecycle:
     def test_bad_dataflow_rejected_at_submit(self, serve_model):
         batcher = _batcher(serve_model)

@@ -1,0 +1,123 @@
+"""RequestQueue.get_batch deadline semantics under real threads.
+
+The flush policy is the serving layer's latency/throughput contract:
+flush as soon as ``max_size`` requests are in hand, else at ``max_wait``
+after the first request — and close() must wake waiters immediately,
+whether they are blocked on an empty queue or mid-deadline.  Every test
+here runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import RequestQueue, _Pending
+
+
+def _pending() -> _Pending:
+    return _Pending(np.array([8, 8, 8, 0], dtype=np.int64))
+
+
+def _collect_in_thread(queue, max_size, max_wait_s):
+    """Run get_batch on a worker thread; returns (thread, result_box)."""
+    box = {}
+
+    def run():
+        start = time.perf_counter()
+        box["batch"] = queue.get_batch(max_size, max_wait_s)
+        box["elapsed"] = time.perf_counter() - start
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestFlushOnSize:
+    def test_full_batch_returns_without_waiting_the_deadline(self):
+        queue = RequestQueue()
+        for _ in range(8):
+            queue.put(_pending())
+        start = time.perf_counter()
+        batch = queue.get_batch(8, max_wait_s=30.0)
+        assert time.perf_counter() - start < 1.0
+        assert len(batch) == 8
+
+    def test_excess_items_stay_queued_for_the_next_batch(self):
+        queue = RequestQueue()
+        for _ in range(11):
+            queue.put(_pending())
+        assert len(queue.get_batch(8, 0.01)) == 8
+        assert len(queue.get_batch(8, 0.01)) == 3
+        assert len(queue) == 0
+
+
+class TestFlushOnDeadline:
+    def test_partial_batch_flushes_at_the_deadline(self):
+        queue = RequestQueue()
+        queue.put(_pending())
+        start = time.perf_counter()
+        batch = queue.get_batch(8, max_wait_s=0.05)
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 1
+        # Waited out the deadline (with CI-scheduler slack), not 8 items.
+        assert 0.04 <= elapsed < 2.0
+
+    def test_late_arrivals_within_the_deadline_join_the_batch(self):
+        queue = RequestQueue()
+        queue.put(_pending())
+        thread, box = _collect_in_thread(queue, 8, max_wait_s=0.4)
+        time.sleep(0.05)
+        queue.put(_pending())           # lands inside the wait window
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert len(box["batch"]) == 2
+
+    def test_blocks_indefinitely_for_the_first_request(self):
+        queue = RequestQueue()
+        thread, box = _collect_in_thread(queue, 4, max_wait_s=0.02)
+        time.sleep(0.1)                 # well past max_wait: still waiting
+        assert thread.is_alive()
+        queue.put(_pending())
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert len(box["batch"]) == 1
+
+
+class TestClose:
+    def test_close_while_waiting_empty_returns_none(self):
+        queue = RequestQueue()
+        thread, box = _collect_in_thread(queue, 4, max_wait_s=30.0)
+        time.sleep(0.05)                # let the waiter block
+        queue.close()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert box["batch"] is None
+
+    def test_close_mid_collection_flushes_the_partial_batch(self):
+        queue = RequestQueue()
+        queue.put(_pending())
+        thread, box = _collect_in_thread(queue, 8, max_wait_s=30.0)
+        time.sleep(0.05)                # waiter holds 1 item, mid-deadline
+        queue.close()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert len(box["batch"]) == 1
+        assert box["elapsed"] < 5.0     # woke on close, not the deadline
+
+    def test_pending_items_drain_after_close_then_none(self):
+        queue = RequestQueue()
+        for _ in range(3):
+            queue.put(_pending())
+        queue.close()
+        assert len(queue.get_batch(8, 0.01)) == 3
+        assert queue.get_batch(8, 0.01) is None
+
+    def test_put_after_close_raises(self):
+        queue = RequestQueue()
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.put(_pending())

@@ -250,6 +250,20 @@ class TestErrorHandling:
         assert status == 400
         assert "'model'" in doc["error"]
 
+    def test_empty_workloads_is_a_clean_json_400(self, server):
+        """Regression: an empty 'workloads' list used to reach
+        np.stack([]) in the engine and escape as a 500 with a numpy
+        traceback in the body."""
+        status, doc = _post(server, "/predict", {"workloads": []})
+        assert status == 400
+        assert set(doc) == {"error"}            # JSON error shape, no extras
+        assert "non-empty" in doc["error"]
+        assert "Traceback" not in doc["error"]
+        assert "np.stack" not in doc["error"]
+        # The server stays healthy and the error never pollutes stats'
+        # request counters (it was rejected before admission).
+        assert _get(server, "/healthz")[0] == 200
+
 
 class TestMultiModelRouting:
     @pytest.fixture

@@ -106,7 +106,10 @@ class TestServeCommand:
     @pytest.mark.parametrize("flags", [
         ["--max-batch-size", "0"],
         ["--max-wait-ms", "-1"],
-    ], ids=["batch-size", "wait"])
+        ["--max-queue", "0"],
+        ["--request-timeout", "0"],
+        ["--request-timeout", "-3"],
+    ], ids=["batch-size", "wait", "queue", "timeout-zero", "timeout-neg"])
     def test_bad_flush_policy_rejected(self, flags, capsys):
         with pytest.raises(SystemExit) as err:
             main(["serve", "--untrained", "--scale", "tiny"] + flags)
@@ -117,7 +120,11 @@ class TestServeCommand:
         with pytest.raises(SystemExit) as err:
             main(["serve", "--help"])
         assert err.value.code == 0
-        assert "/predict" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "/predict" in out
+        assert "--async" in out
+        assert "--max-queue" in out
+        assert "--request-timeout" in out
 
 
 class TestTrainCommand:
