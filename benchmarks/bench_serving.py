@@ -1,6 +1,7 @@
-"""Concurrent-client serving: batcher speedup, tail latency, backpressure.
+"""Concurrent-client serving: batcher speedup, tail latency, backpressure,
+and the request-tracing overhead gate.
 
-Three gates, one per serving-subsystem promise:
+Four gates, one per serving-subsystem promise:
 
 * **Batcher speedup** — with N concurrent clients issuing
   single-workload requests, the dynamic batcher (which coalesces them
@@ -14,6 +15,9 @@ Three gates, one per serving-subsystem promise:
 * **Saturation behaviour** — a route with a tiny ``max_queue`` and a
   deliberately slow engine must answer the overflow with HTTP 429 +
   ``Retry-After`` (bounded admission), never by queueing unboundedly.
+* **Tracing overhead** — requests carrying a trace context (client span
+  propagated through the batcher's queue.wait and engine.forward spans,
+  PR 7's telemetry layer) must cost <= 3% throughput vs plain requests.
 
 Run standalone to record the perf trajectory::
 
@@ -49,11 +53,13 @@ import pytest
 from repro.core import (AirchitectV2, BatchedDSEPredictor, DSEPredictor,
                         ModelConfig)
 from repro.dse import DSEProblem
+from repro.obs import Tracer
 from repro.serving import AsyncDSEServer, DynamicBatcher, ServingStats
 
 SPEEDUP_TARGET = 3.0
 P99_LIMIT_S = 0.5
 SMOKE_P99_LIMIT_S = 5.0
+OBS_OVERHEAD_LIMIT = 0.03
 
 
 def _drive_clients(n_clients: int, requests_per_client: int, inputs,
@@ -134,6 +140,81 @@ def run_bench(clients: int = 16, requests_per_client: int = 64,
             "mean_queue_wait_ms": stats.mean_queue_wait_s * 1e3,
             "identical_predictions": identical,
             "speedup_target": SPEEDUP_TARGET}
+
+
+def run_obs_overhead(clients: int = 16, requests_per_client: int = 64,
+                     max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                     rounds: int = 3, seed: int = 0) -> dict:
+    """The instrumentation gate of the telemetry layer (PR 7).
+
+    One concurrent-client fleet drives the batcher with *interleaved*
+    requests: each client alternates plain requests and requests that
+    carry a trace context (a client span whose id propagates through the
+    batcher's queue.wait and the engine's forward spans, all landing in
+    a :class:`~repro.obs.Tracer` ring).  Because both populations share
+    every batch, every GC pause and every scheduler hiccup, comparing
+    their median latencies is a *paired* measurement: drift and jitter
+    cancel, leaving the per-request cost of carrying a trace.  Separate
+    all-plain/all-traced drives were hopeless here — a dynamic batcher
+    quantizes latency into flush cycles, so microsecond perturbations
+    chaotically shift which cycle a request lands in and wall-clock
+    differences of either sign dwarf the instrumentation under test.
+    """
+    problem = DSEProblem()
+    rng = np.random.default_rng(seed)
+    model = AirchitectV2(ModelConfig(), problem, rng)
+    total = clients * requests_per_client
+    inputs = problem.sample_inputs(total, rng)
+    DSEPredictor(model).predict_indices(inputs[0])     # warm-up (lazy allocs)
+
+    tracer = Tracer(ring_size=4 * total * rounds)
+    latencies: dict[bool, list[float]] = {False: [], True: []}
+    elapsed_total = 0.0
+
+    stats = ServingStats()
+    engine = BatchedDSEPredictor(model, micro_batch_size=1024,
+                                 on_batch=stats.record_forward)
+    with DynamicBatcher(engine, max_batch_size=max_batch_size,
+                        max_wait_ms=max_wait_ms, stats=stats,
+                        start=True) as batcher:
+        counter = {"i": 0}
+
+        def one(row):
+            # Alternate per call; the dict counter is GIL-atomic enough
+            # for a measurement split (exact balance does not matter).
+            counter["i"] += 1
+            traced = counter["i"] % 2 == 0
+            begin = time.perf_counter()
+            if traced:
+                with tracer.span("client.request") as span:
+                    served = batcher.predict(*map(int, row), timeout=60,
+                                             trace=span.context)
+            else:
+                served = batcher.predict(*map(int, row), timeout=60)
+            latencies[traced].append(time.perf_counter() - begin)
+            return served.pe_idx, served.l2_idx
+
+        for _ in range(rounds):
+            seconds, _, _ = _drive_clients(
+                clients, requests_per_client, inputs, one)
+            elapsed_total += seconds
+        spans_recorded = len(tracer.export())
+
+    plain_p50 = float(np.median(latencies[False]))
+    traced_p50 = float(np.median(latencies[True]))
+    overhead = max(traced_p50 / max(plain_p50, 1e-12) - 1.0, 0.0)
+    return {"clients": clients,
+            "requests_per_client": requests_per_client,
+            "rounds": rounds,
+            "requests_measured": {"plain": len(latencies[False]),
+                                  "traced": len(latencies[True])},
+            "requests_per_sec": rounds * total / max(elapsed_total, 1e-12),
+            "plain_p50_ms": plain_p50 * 1e3,
+            "traced_p50_ms": traced_p50 * 1e3,
+            "obs_overhead": overhead,
+            "overhead_limit": OBS_OVERHEAD_LIMIT,
+            "overhead_ok": overhead <= OBS_OVERHEAD_LIMIT,
+            "spans_recorded": spans_recorded}
 
 
 def run_sustained(duration_s: float = 5.0, clients: int = 8,
@@ -285,6 +366,9 @@ def run_smoke() -> dict:
     result["sustained"] = run_sustained(duration_s=1.5, clients=4,
                                         p99_limit_s=SMOKE_P99_LIMIT_S)
     result["saturation"] = run_saturation()
+    result["observability"] = run_obs_overhead(clients=8,
+                                               requests_per_client=12,
+                                               rounds=2)
     return result
 
 
@@ -312,6 +396,15 @@ def test_saturated_route_backpressures_with_429():
     result = run_saturation()
     print(json.dumps(result, indent=2))
     assert result["backpressure_ok"]
+
+
+@pytest.mark.slow
+def test_tracing_overhead_within_gate():
+    """Traced requests cost <= 3% throughput vs plain ones."""
+    result = run_obs_overhead()
+    print(json.dumps(result, indent=2))
+    assert result["spans_recorded"] > 0
+    assert result["overhead_ok"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -350,6 +443,11 @@ def main(argv: list[str] | None = None) -> int:
                                             p99_limit_s=args.p99_limit,
                                             seed=args.seed)
         result["saturation"] = run_saturation(seed=args.seed)
+        result["observability"] = run_obs_overhead(
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms, seed=args.seed)
     text = json.dumps(result, indent=2)
     print(text)
     if args.output:
@@ -378,6 +476,15 @@ def main(argv: list[str] | None = None) -> int:
     if not result["saturation"]["backpressure_ok"]:
         print("FAIL: saturated route did not backpressure with "
               "429 + Retry-After", file=sys.stderr)
+        failed = True
+    obs = result["observability"]
+    if not obs["spans_recorded"]:
+        print("FAIL: traced requests recorded no spans", file=sys.stderr)
+        failed = True
+    if not obs["overhead_ok"]:
+        print(f"FAIL: tracing overhead {obs['obs_overhead'] * 100:.2f}% "
+              f"exceeds the {obs['overhead_limit'] * 100:.0f}% gate",
+              file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

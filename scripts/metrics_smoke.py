@@ -1,0 +1,169 @@
+"""CI smoke for the telemetry endpoint: boot ``repro serve``, scrape
+``GET /metrics`` twice, and validate the Prometheus text exposition.
+
+Checks, in order:
+
+1. the server comes up and answers ``/healthz``;
+2. a ``POST /predict`` round-trips and echoes an ``X-Trace-Id`` header;
+3. ``/metrics`` parses as text exposition: every series belongs to a
+   ``# TYPE``-declared family, labels are well-formed, and no series
+   (name + label set) appears twice;
+4. a second scrape after the request shows every counter monotonically
+   non-decreasing, and ``repro_requests_total`` strictly increased.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python scripts/metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+BOOT_TIMEOUT_S = 120.0
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(msg: str):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Validate the format; returns {series-key: value}."""
+    typed: dict[str, str] = {}
+    series: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            fail(f"metrics line {lineno}: blank line in exposition")
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                fail(f"metrics line {lineno}: malformed TYPE: {line!r}")
+            if parts[2] in typed:
+                fail(f"metrics line {lineno}: duplicate TYPE for "
+                     f"{parts[2]}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            fail(f"metrics line {lineno}: unknown comment {line!r}")
+        match = _SERIES_RE.match(line)
+        if not match:
+            fail(f"metrics line {lineno}: unparseable series {line!r}")
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            fail(f"metrics line {lineno}: series {name!r} has no TYPE")
+        labels = match.group("labels")
+        if labels:
+            for item in labels.split('",'):
+                item = item if item.endswith('"') else item + '"'
+                if not _LABEL_RE.match(item):
+                    fail(f"metrics line {lineno}: bad label {item!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            fail(f"metrics line {lineno}: non-numeric value {line!r}")
+        key = f"{name}{{{labels or ''}}}"
+        if key in series:
+            fail(f"metrics line {lineno}: duplicate series {key}")
+        series[key] = value
+    if not typed:
+        fail("no # TYPE lines in exposition")
+    return series
+
+
+def counters_of(series: dict[str, float]) -> dict[str, float]:
+    return {k: v for k, v in series.items()
+            if k.split("{", 1)[0].endswith("_total")}
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--untrained",
+         "--scale", "tiny", "--port", "0"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    url = None
+    try:
+        # The bind address goes to stderr once the model is built.
+        deadline = time.monotonic() + BOOT_TIMEOUT_S
+        for line in proc.stderr:
+            match = re.search(r"http://[0-9.]+:\d+", line)
+            if match:
+                url = match.group(0)
+                break
+            if time.monotonic() > deadline:
+                break
+        if url is None:
+            fail("server never printed its bind address")
+        for _ in range(100):
+            try:
+                with urllib.request.urlopen(url + "/healthz", timeout=5):
+                    break
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.1)
+        else:
+            fail("/healthz never came up")
+
+        first = parse_exposition(
+            urllib.request.urlopen(url + "/metrics", timeout=10)
+            .read().decode())
+        print(f"scrape 1: {len(first)} series OK")
+
+        req = urllib.request.Request(
+            url + "/predict",
+            data=json.dumps({"m": 64, "n": 64, "k": 64}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            if resp.status != 200:
+                fail(f"/predict answered {resp.status}")
+            trace_id = resp.headers.get("X-Trace-Id")
+            resp.read()
+        if not trace_id:
+            fail("/predict response carried no X-Trace-Id header")
+        print(f"predict OK (trace {trace_id})")
+
+        second = parse_exposition(
+            urllib.request.urlopen(url + "/metrics", timeout=10)
+            .read().decode())
+        print(f"scrape 2: {len(second)} series OK")
+
+        before, after = counters_of(first), counters_of(second)
+        for key, value in before.items():
+            if key not in after:
+                fail(f"counter {key} disappeared between scrapes")
+            if after[key] < value:
+                fail(f"counter {key} went backwards: "
+                     f"{value} -> {after[key]}")
+        requests_series = [key for key in after
+                           if key.startswith("repro_requests_total")]
+        if not requests_series:
+            fail("no repro_requests_total series exported")
+        if not any(after[key] > before.get(key, 0.0)
+                   for key in requests_series):
+            fail("repro_requests_total did not increase after /predict")
+        print("counter monotonicity OK")
+        print("metrics smoke PASSED")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,12 @@ Examples::
     python -m repro train --model v2 --scale small --workers 4
     python -m repro train --smoke --registry .repro_cache
     python -m repro train --smoke --json      # CI fast path
+
+    # Observability: Prometheus /metrics, request traces, live polling,
+    # per-phase train profiling:
+    python -m repro serve --trace-file traces.ndjson
+    python -m repro stats --watch 2           # or --metrics for raw text
+    python -m repro train --smoke --profile --json
 """
 
 from __future__ import annotations
@@ -308,6 +314,10 @@ def train_main(argv: list[str] | None = None) -> int:
                              "given explicitly")
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON summary instead of text")
+    parser.add_argument("--profile", action="store_true",
+                        help="time every batch's data/forward/backward/"
+                             "optimizer phases (per-phase wall-time "
+                             "histograms in the summary)")
     parser.add_argument("--scale", default=None, choices=sorted(SCALES),
                         help="training scale (default: $REPRO_SCALE or "
                              "'small'; --smoke forces 'tiny')")
@@ -344,12 +354,17 @@ def train_main(argv: list[str] | None = None) -> int:
         "gandse": "gandse", "vaesa": "vaesa"}[args.model])
     cached = workspace.has(model_path)
 
-    from .train import ThroughputMonitor
+    from .train import ProfilerCallback, ThroughputMonitor
     throughput = ThroughputMonitor()
+    callbacks = [throughput]
+    profiler_cb = None
+    if args.profile:
+        profiler_cb = ProfilerCallback()
+        callbacks.append(profiler_cb)
     start = time.perf_counter()
     try:
         model = getter(scale, train_set, workspace, problem,
-                       callbacks=(throughput,))
+                       callbacks=tuple(callbacks))
     except KeyboardInterrupt:
         print("\ninterrupted: checkpoint saved; re-run the same command "
               "to resume", file=sys.stderr)
@@ -389,6 +404,8 @@ def train_main(argv: list[str] | None = None) -> int:
                "accuracy": metrics.accuracy if metrics else None,
                "pe_accuracy": metrics.pe_accuracy if metrics else None,
                "l2_accuracy": metrics.l2_accuracy if metrics else None}
+    if profiler_cb is not None:
+        summary["profile"] = profiler_cb.snapshot()
 
     if args.registry:
         from .registry import ModelRegistry
@@ -418,6 +435,12 @@ def train_main(argv: list[str] | None = None) -> int:
             print(f"throughput: {throughput.mean_samples_per_sec:.0f} "
                   f"samples/sec over {len(throughput.epochs)} epoch(s) "
                   f"({throughput.total_seconds:.1f}s in the train loop)")
+        if profiler_cb is not None:
+            profile = profiler_cb.snapshot()
+            shares = ", ".join(
+                f"{phase} {stats['share'] * 100:.1f}%"
+                for phase, stats in profile["phases"].items())
+            print(f"profile ({profile['batches']} batches): {shares}")
         if metrics is None:
             print("one-shot accuracy n/a (VAESA infers via latent-space "
                   "search; evaluate with 'repro fig7' / 'repro fig8a')")
@@ -442,7 +465,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         description="Serve one-shot DSE predictions over HTTP with dynamic "
                     "request batching and multi-model routing "
                     "(POST /predict, POST /sweep [streaming NDJSON], "
-                    "GET /models, GET /healthz, GET /stats).")
+                    "GET /models, GET /healthz, GET /stats, GET /metrics).")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8080,
@@ -485,6 +508,10 @@ def serve_main(argv: list[str] | None = None) -> int:
                              "HTTP 504 (default 60)")
     parser.add_argument("--log-requests", action="store_true",
                         help="log every HTTP request to stderr")
+    parser.add_argument("--trace-file", metavar="FILE", default=None,
+                        help="append finished request spans as NDJSON to "
+                             "this file (traces also live in an in-memory "
+                             "ring either way)")
     _add_model_args(parser)
     args = parser.parse_args(argv)
     if args.max_batch_size < 1:
@@ -517,7 +544,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                   sweep_workers=args.sweep_workers,
                   max_queue=args.max_queue,
                   request_timeout_s=args.request_timeout,
-                  log_requests=args.log_requests)
+                  log_requests=args.log_requests,
+                  trace_file=args.trace_file)
     server_cls = DSEServer
     if args.use_async:
         from .serving import AsyncDSEServer
@@ -559,6 +587,97 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def stats_main(argv: list[str] | None = None) -> int:
+    """``repro stats``: poll a running server's /stats or /metrics."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Poll a running 'repro serve' instance: pretty-print "
+                    "GET /stats (default), dump the raw Prometheus text "
+                    "from GET /metrics (--metrics), or emit one summary "
+                    "line per interval (--watch).")
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server base URL (default "
+                             "http://127.0.0.1:8080)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="fetch GET /metrics (Prometheus text "
+                             "exposition) instead of GET /stats")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw /stats JSON document")
+    parser.add_argument("--watch", type=float, metavar="SECONDS",
+                        default=None,
+                        help="poll every SECONDS until Ctrl-C, one "
+                             "summary line per poll (with --metrics: "
+                             "re-dump the whole exposition)")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-request timeout (default 5)")
+    args = parser.parse_args(argv)
+    if args.metrics and args.json:
+        parser.error("--metrics and --json are mutually exclusive")
+    if args.watch is not None and args.watch <= 0:
+        parser.error("--watch must be > 0")
+    if args.timeout <= 0:
+        parser.error("--timeout must be > 0")
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str) -> str:
+        with urlopen(base + path, timeout=args.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def summary_line(doc: dict, prev: dict | None) -> str:
+        latency = doc.get("latency") or {}
+        rate = ""
+        if prev is not None and args.watch:
+            delta = doc["requests_total"] - prev["requests_total"]
+            rate = f" {delta / args.watch:7.1f} req/s"
+        return (f"req {doc['requests_total']:>8}{rate}  "
+                f"samples {doc['samples_total']:>9}  "
+                f"batch {doc['mean_batch_size']:6.2f}  "
+                f"p50 {latency.get('p50_ms', 0.0):7.2f}ms  "
+                f"p95 {latency.get('p95_ms', 0.0):7.2f}ms  "
+                f"errors {doc['errors_total']}")
+
+    try:
+        if args.watch is None:
+            if args.metrics:
+                sys.stdout.write(fetch("/metrics"))
+            elif args.json:
+                print(fetch("/stats"))
+            else:
+                doc = json.loads(fetch("/stats"))
+                print(f"{base}  up {doc['uptime_s']:.0f}s  "
+                      f"default model {doc.get('default_model')!r}")
+                print(summary_line(doc, None))
+                for name, route in sorted((doc.get("models") or {}).items()):
+                    print(f"  {name}: req {route['requests_total']} "
+                          f"inflight {route.get('inflight', 0)} "
+                          f"errors {route['errors_total']}")
+                cache = doc.get("oracle_cache")
+                if cache:
+                    print(f"oracle cache: {cache['size']}/"
+                          f"{cache['capacity']} entries, "
+                          f"hit rate {cache['hit_rate']:.2f}")
+            return 0
+        prev = None
+        while True:
+            if args.metrics:
+                sys.stdout.write(fetch("/metrics"))
+            else:
+                doc = json.loads(fetch("/stats"))
+                print(summary_line(doc, prev), flush=True)
+                prev = doc
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, URLError, ValueError, KeyError) as exc:
+        print(f"repro stats: error: cannot read {base}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "predict":
@@ -567,13 +686,16 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "train":
         return train_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate AIRCHITECT v2 paper tables and figures "
                     "('repro predict --help' for the DSE serving mode, "
                     "'repro serve --help' for the HTTP server, "
-                    "'repro train --help' for the training engine).")
+                    "'repro train --help' for the training engine, "
+                    "'repro stats --help' for the live-server poller).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all"],
                         help="which artefact to regenerate")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dse import DSEDataset, DSEProblem, ExhaustiveOracle
+from ..obs import current_engine_contexts
 from .model import AirchitectV2
 
 __all__ = ["PredictionMetrics", "evaluate_predictions", "evaluate_model",
@@ -180,12 +181,13 @@ class BatchedDSEPredictor:
     # ------------------------------------------------------------------
     def predict_indices(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised one-shot DSE over pre-built (batch, 4) input tuples."""
-        if self.on_batch is None:
+        contexts = current_engine_contexts()
+        if self.on_batch is None and not contexts:
             return self.model.predict_indices(inputs,
                                               batch_size=self.micro_batch_size)
-        # Micro-batch here so every forward pass reports to the hook;
-        # chunking per row range is deterministic, so predictions are
-        # unchanged from the single delegated call above.
+        # Micro-batch here so every forward pass reports to the hook and
+        # the active traces; chunking per row range is deterministic, so
+        # predictions are unchanged from the single delegated call above.
         inputs = np.atleast_2d(np.asarray(inputs))
         pe_out = np.empty(len(inputs), dtype=np.int64)
         l2_out = np.empty(len(inputs), dtype=np.int64)
@@ -194,7 +196,18 @@ class BatchedDSEPredictor:
             tick = time.perf_counter()
             pe, l2 = self.model.predict_indices(chunk,
                                                 batch_size=self.micro_batch_size)
-            self.on_batch(len(chunk), time.perf_counter() - tick)
+            elapsed = time.perf_counter() - tick
+            if self.on_batch is not None:
+                self.on_batch(len(chunk), elapsed)
+            # One engine.forward span per trace sharing this coalesced
+            # pass: that is how a request served in a batch of 64 still
+            # sees "its" forward-pass time in its trace tree.
+            for ctx in contexts:
+                if ctx.tracer is not None:
+                    span = ctx.tracer.span("engine.forward", parent=ctx,
+                                           attributes={"rows": len(chunk)})
+                    span.start_time -= elapsed
+                    span.end(duration_s=elapsed)
             sl = slice(start, start + len(chunk))
             pe_out[sl], l2_out[sl] = pe, l2
         return pe_out, l2_out

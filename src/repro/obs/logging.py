@@ -1,0 +1,102 @@
+"""Structured JSON-lines logging with per-subsystem namespaces.
+
+:func:`get_logger` returns a stdlib :class:`logging.Logger` under the
+``repro.`` namespace whose records render as one JSON object per line::
+
+    {"ts": "2026-08-07T12:00:00.123Z", "level": "info",
+     "logger": "repro.serving.server", "msg": "route loaded",
+     "model": "v2_small_s0", "source": "registry"}
+
+Extra fields passed via ``logger.info("route loaded", extra={...})``
+land as top-level keys, so logs are machine-parseable without regexes.
+The handler attaches once to the ``repro`` root logger; libraries and
+tests that configure logging themselves are never touched.  The default
+level is ``WARNING`` (quiet), overridable with ``REPRO_LOG_LEVEL`` or
+:func:`configure`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+__all__ = ["get_logger", "configure", "JsonLineFormatter"]
+
+_ROOT_NAME = "repro"
+
+# logging.LogRecord's own attributes; anything else on a record came in
+# through `extra` and belongs in the JSON document.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None)).keys()) | {"message", "asctime",
+                                            "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields become keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                time.gmtime(record.created))
+                  + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                doc[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc)
+
+
+def _root() -> logging.Logger:
+    return logging.getLogger(_ROOT_NAME)
+
+
+def configure(level: int | str | None = None, stream=None,
+              force: bool = False) -> logging.Logger:
+    """Attach the JSON handler to the ``repro`` root logger (idempotent).
+
+    ``level`` defaults to ``$REPRO_LOG_LEVEL`` or ``WARNING``; ``stream``
+    defaults to stderr.  ``force=True`` replaces an existing handler
+    (tests use this to capture output).
+    """
+    root = _root()
+    ours = [h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)]
+    if ours and not force:
+        handler = ours[0]
+    else:
+        for h in ours:
+            root.removeHandler(h)
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(JsonLineFormatter())
+        handler._repro_obs_handler = True
+        root.addHandler(handler)
+        root.propagate = False
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.WARNING)
+    root.setLevel(level)
+    if stream is not None:
+        handler.setStream(stream)
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced structured logger: ``get_logger('serving.server')``
+    logs as ``repro.serving.server``."""
+    configure()
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

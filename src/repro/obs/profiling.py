@@ -1,0 +1,84 @@
+"""Per-phase wall-time profiling for the training loop.
+
+:class:`PhaseProfiler` accumulates wall-clock per named phase —
+``data`` (loader iteration), ``forward`` (the task's batch computation
+net of autograd), ``backward`` (``loss.backward()``) and ``optimizer``
+(zero-grad + clip + step) — into :class:`~repro.obs.LatencyHistogram`
+buckets, so the CLI and benchmarks report p50/p95/p99 per phase instead
+of a single opaque epoch time.
+
+It also keeps *per-batch* running sums (reset by :meth:`start_batch`)
+because ``forward`` is attributed by subtraction: the loop times the
+whole ``batch_step`` and subtracts whatever the :class:`StepContext`
+recorded as backward/optimizer time — the task API never exposes the
+forward/backward boundary directly.
+
+Recording one phase costs two ``perf_counter`` reads and one O(1)
+histogram record; the ≤3 % instrumentation gate in
+``benchmarks/bench_train_step.py`` holds the loop to that.  Attach an
+optional :class:`~repro.obs.MetricsRegistry` to additionally publish
+``repro_train_phase_seconds{phase=...}`` histograms for scraping.
+"""
+
+from __future__ import annotations
+
+from .metrics import LatencyHistogram, MetricsRegistry
+
+__all__ = ["PhaseProfiler", "PHASES"]
+
+PHASES = ("data", "forward", "backward", "optimizer")
+
+
+class PhaseProfiler:
+    """Accumulate per-phase wall time; not thread-safe (one loop owns it)."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._hists = {phase: LatencyHistogram() for phase in PHASES}
+        self._batch_sums = dict.fromkeys(PHASES, 0.0)
+        self._metric = None
+        if registry is not None:
+            family = registry.histogram(
+                "repro_train_phase_seconds",
+                "Wall time per train-loop phase per batch.", ("phase",))
+            self._metric = {phase: family.labels(phase=phase)
+                            for phase in PHASES}
+
+    # ------------------------------------------------------------------
+    def record(self, phase: str, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        hist = self._hists.get(phase)
+        if hist is None:
+            hist = self._hists[phase] = LatencyHistogram()
+            self._batch_sums.setdefault(phase, 0.0)
+        hist.record(seconds)
+        self._batch_sums[phase] = self._batch_sums.get(phase, 0.0) + seconds
+        if self._metric is not None and phase in self._metric:
+            self._metric[phase].observe(seconds)
+
+    def start_batch(self) -> None:
+        """Reset the per-batch sums (the forward-by-subtraction basis)."""
+        for phase in self._batch_sums:
+            self._batch_sums[phase] = 0.0
+
+    def batch_seconds(self, phases=("backward", "optimizer")) -> float:
+        """This batch's accumulated time over ``phases``."""
+        return sum(self._batch_sums.get(phase, 0.0) for phase in phases)
+
+    # ------------------------------------------------------------------
+    @property
+    def batches(self) -> int:
+        return self._hists["forward"].count
+
+    def total_seconds(self, phase: str) -> float:
+        hist = self._hists.get(phase)
+        return hist.total_s if hist is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-phase stats plus each phase's share of the total."""
+        phases = {phase: hist.snapshot()
+                  for phase, hist in self._hists.items()}
+        total = sum(p["total_s"] for p in phases.values())
+        for doc in phases.values():
+            doc["share"] = doc["total_s"] / total if total else 0.0
+            del doc["buckets"]      # raw buckets are noise in CLI output
+        return {"batches": self.batches, "total_s": total, "phases": phases}

@@ -37,8 +37,8 @@ from concurrent.futures import ThreadPoolExecutor
 from email.utils import formatdate
 from http import HTTPStatus
 
-from .server import (_MAX_BODY_BYTES, DSEServer, _Backpressure, _BadRequest,
-                     _NotFound, _RequestTimeout)
+from .server import (_MAX_BODY_BYTES, _METRICS_CONTENT_TYPE, DSEServer,
+                     _Backpressure, _BadRequest, _NotFound, _RequestTimeout)
 
 __all__ = ["AsyncDSEServer"]
 
@@ -294,6 +294,8 @@ class AsyncDSEServer(DSEServer):
     async def _dispatch(self, writer, reader, method: str, path: str,
                         headers: dict[str, str]) -> bool:
         loop = asyncio.get_running_loop()
+        span = None
+        trace_headers: list[tuple[str, str]] = []
         try:
             if method == "GET":
                 if path == "/healthz":
@@ -308,48 +310,80 @@ class AsyncDSEServer(DSEServer):
                     doc = await loop.run_in_executor(None,
                                                      self.models_snapshot)
                     return await self._send(writer, 200, doc)
+                if path == "/metrics":
+                    text = await loop.run_in_executor(None,
+                                                      self.metrics_text)
+                    return await self._send_raw(writer, text.encode(),
+                                                _METRICS_CONTENT_TYPE)
                 return await self._send(writer, 404, {
                     "error": f"unknown route {method} {path!r}"})
             if method != "POST" or path not in ("/predict", "/sweep"):
                 return await self._send(writer, 404, {
                     "error": f"unknown route {method} {path!r}"})
+            span = self.begin_request_span(f"http.{path[1:]}",
+                                           headers.get("x-trace-id"))
+            if span is not None:
+                trace_headers.append(("X-Trace-Id", span.trace_id))
             doc = await self._read_json_body(reader, headers)
             if self._draining:
                 return await self._send(writer, 503, {
-                    "error": "server is draining; request rejected"})
+                    "error": "server is draining; request rejected"},
+                    trace_headers)
             if path == "/predict":
                 # The inner future wait already enforces
                 # request_timeout_s; the outer wait_for is the backstop
                 # for blocking work outside a future (oracle, engine).
+                trace = span.context if span is not None else None
                 result = await asyncio.wait_for(
-                    loop.run_in_executor(None, self.handle_predict, doc),
+                    loop.run_in_executor(
+                        None, lambda: self.handle_predict(doc, trace=trace)),
                     self.request_timeout_s + 1.0)
-                return await self._send(writer, 200, result)
-            return await self._stream_sweep(writer, doc)
+                return await self._send(writer, 200, result, trace_headers)
+            return await self._stream_sweep(writer, doc, trace_headers)
         except (ConnectionError, asyncio.IncompleteReadError):
+            if span is not None:
+                span.status = "error"
             return False
         except _NotFound as exc:
-            return await self._send(writer, 404, {"error": str(exc)})
+            return await self._send(writer, 404, {"error": str(exc)},
+                                    trace_headers)
         except _Backpressure as exc:
             return await self._send(
                 writer, 429, {"error": str(exc)},
-                [("Retry-After", exc.retry_after_header)])
+                [("Retry-After", exc.retry_after_header)] + trace_headers)
         except _RequestTimeout as exc:
             self.record_error()
-            return await self._send(writer, 504, {"error": str(exc)})
+            return await self._send(writer, 504, {"error": str(exc)},
+                                    trace_headers)
         except asyncio.TimeoutError:
             self.record_error()
             return await self._send(writer, 504, {
                 "error": f"request timed out after "
-                         f"{self.request_timeout_s:g}s"})
+                         f"{self.request_timeout_s:g}s"}, trace_headers)
         except _BadRequest as exc:
-            return await self._send(writer, 400, {"error": str(exc)})
+            return await self._send(writer, 400, {"error": str(exc)},
+                                    trace_headers)
         except Exception as exc:    # pragma: no cover - defensive 500 path
             self.record_error()
             return await self._send(writer, 500, {
-                "error": f"{type(exc).__name__}: {exc}"})
+                "error": f"{type(exc).__name__}: {exc}"}, trace_headers)
+        finally:
+            if span is not None:
+                span.end()
 
-    async def _stream_sweep(self, writer, doc) -> bool:
+    async def _send_raw(self, writer: asyncio.StreamWriter, body: bytes,
+                        content_type: str) -> bool:
+        """Write one non-JSON 200 response (the /metrics exposition)."""
+        close = self._draining
+        headers = [("Content-Type", content_type),
+                   ("Content-Length", str(len(body)))]
+        if close:
+            headers.append(("Connection", "close"))
+        writer.write(_head(200, headers) + body)
+        await writer.drain()
+        return not close
+
+    async def _stream_sweep(self, writer, doc, trace_headers=()) -> bool:
         """Chunked-NDJSON streaming with the threaded server's framing."""
         loop = asyncio.get_running_loop()
         # Validation (and admission) happen before the response commits:
@@ -359,7 +393,8 @@ class AsyncDSEServer(DSEServer):
             loop.run_in_executor(None, self.prepare_sweep, doc),
             self.request_timeout_s + 1.0)
         writer.write(_head(200, [("Content-Type", "application/x-ndjson"),
-                                 ("Transfer-Encoding", "chunked")]))
+                                 ("Transfer-Encoding", "chunked"),
+                                 *trace_headers]))
         sentinel = object()
         try:
             while True:

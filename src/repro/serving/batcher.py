@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import BatchedDSEPredictor
+from ..obs import SpanContext, engine_trace_scope
 
 __all__ = ["ServedPrediction", "RequestQueue", "DynamicBatcher"]
 
@@ -57,14 +58,20 @@ class ServedPrediction:
 
 
 class _Pending:
-    """One enqueued request: its input row, future, and arrival time."""
+    """One enqueued request: its input row, future, and arrival time.
 
-    __slots__ = ("row", "future", "enqueued_at")
+    ``trace`` carries the request's :class:`~repro.obs.SpanContext`
+    across the thread boundary into the batcher worker, which emits the
+    ``queue.wait`` span on the request's behalf once its batch is served.
+    """
 
-    def __init__(self, row: np.ndarray):
+    __slots__ = ("row", "future", "enqueued_at", "trace")
+
+    def __init__(self, row: np.ndarray, trace: SpanContext | None = None):
         self.row = row
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
+        self.trace = trace
 
 
 class RequestQueue:
@@ -209,10 +216,15 @@ class DynamicBatcher:
         return np.array([int(m_c), int(n_c), int(k_c), int(dataflow)],
                         dtype=np.int64)
 
-    def submit(self, m: int, n: int, k: int, dataflow: int = 0) -> Future:
+    def submit(self, m: int, n: int, k: int, dataflow: int = 0,
+               trace: SpanContext | None = None) -> Future:
         """Enqueue one workload; the future resolves to a
-        :class:`ServedPrediction` once its batch has been served."""
-        pending = _Pending(self._validated_row(m, n, k, dataflow))
+        :class:`ServedPrediction` once its batch has been served.
+
+        ``trace`` (optional) is the caller's span context: the worker
+        will emit a ``queue.wait`` child span and attribute the engine's
+        forward pass to the trace."""
+        pending = _Pending(self._validated_row(m, n, k, dataflow), trace)
         # Enqueue first: a put on a closed queue raises, and a request
         # that never entered the queue must not skew /stats accounting.
         self.queue.put(pending)
@@ -220,11 +232,13 @@ class DynamicBatcher:
         return pending.future
 
     def predict(self, m: int, n: int, k: int, dataflow: int = 0,
-                timeout: float | None = 30.0) -> ServedPrediction:
+                timeout: float | None = 30.0,
+                trace: SpanContext | None = None) -> ServedPrediction:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(m, n, k, dataflow).result(timeout)
+        return self.submit(m, n, k, dataflow, trace=trace).result(timeout)
 
-    def predict_batch(self, workloads) -> list[ServedPrediction]:
+    def predict_batch(self, workloads,
+                      trace: SpanContext | None = None) -> list[ServedPrediction]:
         """Serve a pre-assembled bulk batch in one vectorised engine call.
 
         Bulk requests bypass the queue: re-chunking a thousand-row body
@@ -241,7 +255,8 @@ class DynamicBatcher:
         self.stats.record_request(len(rows))
         inputs = np.stack(rows)
         try:
-            pe_idx, l2_idx = self.engine.predict_indices(inputs)
+            with engine_trace_scope((trace,) if trace is not None else ()):
+                pe_idx, l2_idx = self.engine.predict_indices(inputs)
             num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
         except Exception:
             self.stats.record_error()
@@ -282,8 +297,13 @@ class DynamicBatcher:
             return
         served_at = time.perf_counter()
         inputs = np.stack([p.row for p in batch])
+        # Deduplicate: a multi-workload request enqueues one pending per
+        # row, all sharing one trace — one engine.forward span each.
+        contexts = tuple(dict.fromkeys(
+            p.trace for p in batch if p.trace is not None))
         try:
-            pe_idx, l2_idx = self.engine.predict_indices(inputs)
+            with engine_trace_scope(contexts):
+                pe_idx, l2_idx = self.engine.predict_indices(inputs)
             num_pes, l2_kb = self.problem.space.values(pe_idx, l2_idx)
         except Exception as exc:  # pragma: no cover - engine failure path
             self.stats.record_error()
@@ -300,3 +320,12 @@ class DynamicBatcher:
                 l2_idx=int(l2_idx[i]), num_pes=int(num_pes[i]),
                 l2_kb=int(l2_kb[i]), queue_wait_s=waits[i],
                 batch_size=len(batch)))
+        # Spans go out *after* the futures resolve: emission is off the
+        # response critical path, so clients never wait on the tracer.
+        for pending, wait in zip(batch, waits):
+            if pending.trace is not None and pending.trace.tracer is not None:
+                span = pending.trace.tracer.span("queue.wait",
+                                                 parent=pending.trace)
+                span.start_time -= wait     # span began at enqueue time
+                span.set_attribute("batch_size", len(batch))
+                span.end(duration_s=wait)

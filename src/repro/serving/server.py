@@ -45,6 +45,18 @@ Endpoints
     Aggregate serving counters plus a per-model breakdown (requests,
     batches, queue waits, forward passes, sweep/chunk counts, autoscale
     decision traces, oracle cache hit rate).
+``GET /metrics``
+    The same numbers in the Prometheus text exposition format, rendered
+    from the server's :class:`~repro.obs.MetricsRegistry` — every
+    route's :class:`ServingStats` series (labelled by model), autoscale
+    gauges, uptime and in-flight gauges.
+
+Requests are traced end to end: each ``/predict`` or ``/sweep`` gets a
+front-end span (honouring an ``X-Trace-Id`` request header, minting an
+id otherwise), the batcher adds a ``queue.wait`` span, and the engine
+attributes its coalesced forward pass to every trace that shared it.
+Responses echo ``X-Trace-Id``; spans land in the tracer's bounded ring
+and, with a sink configured, an NDJSON file.
 
 All error responses are JSON: unknown routes and unknown models are
 ``404``, malformed or non-dict bodies are ``400`` — never a traceback.
@@ -53,6 +65,7 @@ All error responses are JSON: unknown routes and unknown models are
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -62,12 +75,16 @@ import numpy as np
 
 from ..core import AirchitectV2, BatchedDSEPredictor
 from ..dse import ExhaustiveOracle
+from ..obs import MetricsRegistry, SpanContext, Tracer, get_logger
 from ..registry import ModelRegistry, RegistryError
 from .batcher import DynamicBatcher
 from .sharded import ShardedSweepExecutor
 from .stats import ServingStats
 
 __all__ = ["DSEServer", "ModelRoute"]
+
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_TRACE_ID_RE = re.compile(r"^[0-9a-fA-F-]{8,64}$")
 
 _MAX_BODY_BYTES = 8 << 20
 _MAX_WORKLOADS_PER_REQUEST = 65536
@@ -150,7 +167,8 @@ class ModelRoute:
                  max_batch_size: int, max_wait_ms: float,
                  micro_batch_size: int, source: str = "direct",
                  sweep_workers: int | None = None,
-                 max_queue: int | None = None):
+                 max_queue: int | None = None,
+                 registry: MetricsRegistry | None = None):
         self.name = name
         self.model = model
         self.problem = model.problem
@@ -159,7 +177,16 @@ class ModelRoute:
         self.max_queue = max_queue
         self._inflight = 0
         self._admission_lock = threading.Lock()
-        self.stats = ServingStats()
+        self.registry = registry
+        self.stats = ServingStats(registry=registry,
+                                  labels={"model": name})
+        if registry is not None:
+            # Lazy gauge: the scrape reads the admission counter directly,
+            # so in-flight tracking costs the hot path nothing extra.
+            registry.gauge("repro_inflight_requests",
+                           "Requests admitted and not yet answered.",
+                           ("model",)).labels(model=name) \
+                .set_function(lambda: self.inflight)
         self.last_served = time.time()
         self.engine = BatchedDSEPredictor(
             model, micro_batch_size=micro_batch_size,
@@ -182,7 +209,8 @@ class ModelRoute:
             if self._executor is None:
                 self._executor = ShardedSweepExecutor(
                     self.model, num_workers=self.sweep_workers,
-                    autoscale=True)
+                    autoscale=True, registry=self.registry,
+                    labels={"model": self.name})
             return self._executor
 
     @property
@@ -220,6 +248,12 @@ class ModelRoute:
             if self._executor is not None:
                 self._executor.close()
                 self._executor = None
+        if self.registry is not None:
+            # Drop the lazy gauge so an evicted route's scrape callback
+            # cannot outlive the route (counters stay: they are history).
+            self.registry.gauge("repro_inflight_requests",
+                                "Requests admitted and not yet answered.",
+                                ("model",)).remove(model=self.name)
 
     def stats_snapshot(self) -> dict:
         doc = self.stats.snapshot()
@@ -246,7 +280,8 @@ class _ServingHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        for name, value in extra_headers:
+        for name, value in (*getattr(self, "_trace_headers", ()),
+                            *extra_headers):
             self.send_header(name, value)
         if status >= 400:
             # Error paths may not have drained the request body; under
@@ -271,6 +306,13 @@ class _ServingHandler(BaseHTTPRequestHandler):
             self._send_json(200, dse.stats_snapshot())
         elif self.path == "/models":
             self._send_json(200, dse.models_snapshot())
+        elif self.path == "/metrics":
+            body = dse.metrics_text().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._unknown_route()
 
@@ -299,14 +341,21 @@ class _ServingHandler(BaseHTTPRequestHandler):
         if self.path not in ("/predict", "/sweep"):
             self._unknown_route()
             return
+        span = dse.begin_request_span(
+            f"http.{self.path[1:]}", self.headers.get("X-Trace-Id"))
+        self._trace_headers = (("X-Trace-Id", span.trace_id),) \
+            if span is not None else ()
         try:
             doc = self._read_body()
             if self.path == "/predict":
-                self._send_json(200, dse.handle_predict(doc))
+                self._send_json(200, dse.handle_predict(
+                    doc, trace=span.context if span is not None else None))
             else:
                 self._stream_ndjson(dse.prepare_sweep(doc))
         except ConnectionError:    # client gone; nobody to answer
             self.close_connection = True
+            if span is not None:
+                span.status = "error"
         except _NotFound as exc:
             self._send_json(404, {"error": str(exc)})
         except _BadRequest as exc:
@@ -321,6 +370,10 @@ class _ServingHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive 500 path
             dse.record_error()
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._trace_headers = ()
+            if span is not None:
+                span.end()
 
     # ------------------------------------------------------------------
     def _write_chunk(self, doc: dict) -> None:
@@ -341,6 +394,8 @@ class _ServingHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        for name, value in getattr(self, "_trace_headers", ()):
+            self.send_header(name, value)
         self.end_headers()
         try:
             for doc in lines:
@@ -419,6 +474,14 @@ class DSEServer:
     retry_after_s:
         The backoff hint sent with 429 responses (default 1s; the
         ``Retry-After`` header rounds it up to whole seconds).
+    tracer:
+        Optional pre-built :class:`~repro.obs.Tracer` shared with the
+        embedding application; one is created per server otherwise.
+    trace_file:
+        NDJSON span-sink path for the created tracer (``--trace-file``).
+    enable_tracing:
+        ``False`` turns request tracing off entirely (the overhead
+        benchmark's un-instrumented baseline).
     """
 
     def __init__(self, model: AirchitectV2 | None = None,
@@ -434,7 +497,10 @@ class DSEServer:
                  max_models: int | None = None,
                  sweep_workers: int | None = None,
                  max_queue: int | None = None,
-                 retry_after_s: float = 1.0):
+                 retry_after_s: float = 1.0,
+                 tracer: Tracer | None = None,
+                 trace_file: str | None = None,
+                 enable_tracing: bool = True):
         if model is None and registry is None:
             raise ValueError("DSEServer needs a model or a registry")
         if isinstance(registry, (str, bytes)) or hasattr(registry, "__fspath__"):
@@ -453,7 +519,22 @@ class DSEServer:
         self.max_queue = max_queue
         self.retry_after_s = retry_after_s
         self._model_ids = list(model_ids) if model_ids is not None else None
-        self._errors = ServingStats()   # routing/transport-level failures
+        self.log = get_logger("serving.server")
+        # One registry per server: every route's ServingStats publishes
+        # into it (labelled by model), and /metrics renders it.
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge("repro_uptime_seconds",
+                           "Seconds since the server started.") \
+            .labels().set_function(lambda: time.time() - self.started_at)
+        self.metrics.gauge("repro_routes_active",
+                           "Model routes currently loaded.") \
+            .labels().set_function(lambda: len(self.routes))
+        if tracer is None and enable_tracing:
+            tracer = Tracer(sink=trace_file)
+        self.tracer = tracer
+        # Routing/transport-level failures (no route to blame them on).
+        self._errors = ServingStats(registry=self.metrics,
+                                    labels={"model": "_transport"})
         self.routes: dict[str, ModelRoute] = {}
         self._route_lock = threading.RLock()
         self._running = False
@@ -508,13 +589,15 @@ class DSEServer:
                            max_wait_ms=self.max_wait_ms,
                            micro_batch_size=self.micro_batch_size,
                            source=source, sweep_workers=self.sweep_workers,
-                           max_queue=self.max_queue)
+                           max_queue=self.max_queue, registry=self.metrics)
         with self._route_lock:
             if name in self.routes:
                 raise ValueError(f"model {name!r} is already served")
             self.routes[name] = route
             if self._running:
                 route.start()
+        self.log.info("route loaded", extra={"model": name,
+                                             "source": source})
         return route
 
     def _servable_from_registry(self, name: str) -> bool:
@@ -565,16 +648,22 @@ class DSEServer:
                     max_wait_ms=self.max_wait_ms,
                     micro_batch_size=self.micro_batch_size,
                     source="registry", sweep_workers=self.sweep_workers,
-                    max_queue=self.max_queue)
+                    max_queue=self.max_queue, registry=self.metrics)
                 self.routes[name] = route
                 if self._running:
                     route.start()
+                self.log.info("route loaded",
+                              extra={"model": name, "source": "registry"})
                 evicted = self._evict_locked(keep=name)
             route = self.routes[name]
             route.last_served = time.time()
         if evicted is not None:
             evicted.stop()
             self.registry.invalidate(evicted.name)
+            self.log.info("route evicted",
+                          extra={"model": evicted.name,
+                                 "kept": name,
+                                 "max_models": self.max_models})
         return route
 
     def _evict_locked(self, keep: str) -> ModelRoute | None:
@@ -604,15 +693,41 @@ class DSEServer:
         self._errors.record_error()
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The Prometheus exposition document both transports serve at
+        ``GET /metrics`` (one registry, so the transports are in parity
+        by construction)."""
+        return self.metrics.render()
+
+    def begin_request_span(self, name: str, header_trace_id: str | None):
+        """Open a front-end span for one request, or ``None`` untraced.
+
+        A well-formed incoming ``X-Trace-Id`` header joins the request to
+        the caller's existing trace; anything else gets a fresh id.  The
+        caller must ``end()`` the span and echo ``span.trace_id`` back in
+        the response's ``X-Trace-Id`` header.
+        """
+        if self.tracer is None:
+            return None
+        trace_id = None
+        if header_trace_id and _TRACE_ID_RE.match(header_trace_id.strip()):
+            trace_id = header_trace_id.strip().lower()
+        return self.tracer.span(name, trace_id=trace_id)
+
+    # ------------------------------------------------------------------
     # /predict
     # ------------------------------------------------------------------
-    def handle_predict(self, doc) -> dict:
+    def handle_predict(self, doc, trace: SpanContext | None = None) -> dict:
         """Serve one ``/predict`` body through its route's batcher.
 
         Admission is bounded per route (``max_queue``): a full queue
         raises :class:`_Backpressure` (HTTP 429 + Retry-After) instead
         of queueing unboundedly, and every admitted request's service
-        latency lands in the route's p50/p95/p99 histogram.
+        latency lands in the route's p50/p95/p99 histogram.  ``trace``
+        (the front-end span's context) rides into the batcher so the
+        queue wait and forward pass show up as child spans.
         """
         rows = _parse_workloads(doc)
         is_dict = isinstance(doc, dict)
@@ -622,12 +737,14 @@ class DSEServer:
                                 self.retry_after_s)
         start = time.perf_counter()
         try:
-            return self._predict_admitted(route, rows, doc if is_dict else {})
+            return self._predict_admitted(route, rows,
+                                          doc if is_dict else {}, trace)
         finally:
             route.release()
             route.stats.record_latency(time.perf_counter() - start)
 
-    def _predict_admitted(self, route: ModelRoute, rows, doc: dict) -> dict:
+    def _predict_admitted(self, route: ModelRoute, rows, doc: dict,
+                          trace: SpanContext | None = None) -> dict:
         with_cost = bool(doc.get("with_cost"))
         with_oracle = bool(doc.get("with_oracle"))
         futures = []
@@ -635,9 +752,9 @@ class DSEServer:
             if len(rows) > route.batcher.max_batch_size:
                 # Bulk bodies go straight to the vectorised engine; the
                 # queue exists to coalesce *small* concurrent requests.
-                served = route.batcher.predict_batch(rows)
+                served = route.batcher.predict_batch(rows, trace=trace)
             else:
-                futures = [route.batcher.submit(m, n, k, df)
+                futures = [route.batcher.submit(m, n, k, df, trace=trace)
                            for m, n, k, df in rows]
                 served = [f.result(self.request_timeout_s) for f in futures]
         except FutureTimeout:
@@ -849,6 +966,10 @@ class DSEServer:
             routes = list(self.routes.values())
         for route in routes:
             route.stop()
+        if self.tracer is not None:
+            self.tracer.close()
+        self.log.info("server stopped",
+                      extra={"routes": [r.name for r in routes]})
 
     def __enter__(self) -> "DSEServer":
         return self.start()

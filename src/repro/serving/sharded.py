@@ -230,12 +230,19 @@ class ShardedSweepExecutor:
         Optional pre-configured :class:`AutoscalePolicy` (implies
         ``autoscale=True``); built from ``num_workers`` /
         ``min_shard_size`` otherwise.
+    registry / labels:
+        Optional :class:`~repro.obs.MetricsRegistry` (plus label
+        names/values, e.g. ``{"model": ...}``) into which every
+        autoscale decision is published: sweeps by execution mode,
+        planned workers, and observed throughput — the scrapeable twin
+        of :attr:`decision_trace`.
     """
 
     def __init__(self, model: AirchitectV2, num_workers: int | None = None,
                  micro_batch_size: int = 1024, min_shard_size: int = 256,
                  mp_context: str | None = None, autoscale: bool = False,
-                 policy: AutoscalePolicy | None = None):
+                 policy: AutoscalePolicy | None = None,
+                 registry=None, labels: dict | None = None):
         if num_workers is None:
             num_workers = min(os.cpu_count() or 1, 8)
         self.model = model
@@ -252,6 +259,30 @@ class ShardedSweepExecutor:
             if autoscale else None)
         self.autoscale = self.policy is not None
         self.decision_trace: deque[dict] = deque(maxlen=64)
+        self._metrics = None
+        self._metric_labels = {str(k): str(v)
+                               for k, v in (labels or {}).items()}
+        if registry is not None:
+            names = tuple(self._metric_labels)
+            base = self._metric_labels
+            self._metrics = {
+                "sweeps": registry.counter(
+                    "repro_autoscale_sweeps_total",
+                    "Autoscaled sweeps run, by execution mode.",
+                    names + ("pooled",)),
+                "workers": registry.gauge(
+                    "repro_autoscale_workers",
+                    "Workers planned by the latest autoscale decision.",
+                    names).labels(**base),
+                "rows_per_sec": registry.gauge(
+                    "repro_autoscale_rows_per_sec",
+                    "Throughput of the latest autoscaled sweep.",
+                    names).labels(**base),
+                "per_worker": registry.gauge(
+                    "repro_autoscale_pooled_rows_per_worker_sec",
+                    "EWMA per-worker pooled-throughput estimate.",
+                    names).labels(**base),
+            }
         self._fallback = BatchedDSEPredictor(model,
                                              micro_batch_size=micro_batch_size)
         self._pool = None
@@ -376,6 +407,15 @@ class ShardedSweepExecutor:
             single_rows_per_sec=self.policy.single_rows_per_s,
             pooled_rows_per_worker_sec=self.policy.pooled_rows_per_worker_s)
         self.decision_trace.append(record)
+        if self._metrics is not None:
+            self._metrics["sweeps"].labels(
+                **self._metric_labels,
+                pooled="true" if record["pooled"] else "false").inc()
+            self._metrics["workers"].set(decision.workers)
+            self._metrics["rows_per_sec"].set(record["rows_per_sec"])
+            if self.policy.pooled_rows_per_worker_s is not None:
+                self._metrics["per_worker"].set(
+                    self.policy.pooled_rows_per_worker_s)
         return pe_idx, l2_idx
 
     def sweep(self, inputs: np.ndarray, with_cost: bool = False,

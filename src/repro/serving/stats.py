@@ -7,208 +7,232 @@ per-batch sizes, the engine's ``on_batch`` hook
 streaming sweep endpoint records per-sweep row/chunk counts, and the HTTP
 front-ends record whole-request service latency into a
 :class:`LatencyHistogram` (p50/p95/p99 per route).
-``GET /stats`` serialises one snapshot per model plus an aggregate built
-with :meth:`ServingStats.merge_snapshots`.  An optional attached oracle
+
+Since the unified telemetry layer landed, ``ServingStats`` is a *view*
+over :mod:`repro.obs` metrics: every counter/gauge/histogram lives in a
+:class:`~repro.obs.MetricsRegistry` (the server's, labelled by model;
+a private one for standalone use), so ``GET /metrics`` and ``GET /stats``
+are two renderings of the same numbers.  :meth:`snapshot` keeps the
+pre-telemetry JSON document unchanged — same keys, same types — so
+existing ``/stats`` consumers never notice.  An optional attached oracle
 contributes its label-cache hit rate.
 """
 
 from __future__ import annotations
 
-import bisect
 import threading
 import time
 
 from ..dse import ExhaustiveOracle
+from ..obs import LatencyHistogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServingStats"]
 
 
-def _geometric_bounds(min_s: float, growth: float, count: int) -> list[float]:
-    bounds, edge = [], min_s
-    for _ in range(count):
-        bounds.append(edge)
-        edge *= growth
-    return bounds
+class ServingStats:
+    """Aggregate serving counters (all methods thread-safe).
 
-
-class LatencyHistogram:
-    """Fixed geometric-bucket latency histogram with O(1) records.
-
-    64 buckets spanning 50 microseconds to ~64 seconds (ratio 1.25), plus
-    an overflow bucket: enough resolution for p50/p95/p99 under serving
-    load without per-request allocation or unbounded sample storage.
-    Percentiles report the upper edge of the bucket holding the target
-    rank (clamped to the maximum observed sample), so they are
-    conservative estimates within one bucket ratio of the true value.
-
-    Not thread-safe on its own: :class:`ServingStats` serialises access
-    under its lock.  Snapshots carry the raw bucket counts so
-    :meth:`merge_snapshots` can recompute aggregate percentiles from
-    summed counts instead of averaging averages.
+    Parameters
+    ----------
+    oracle:
+        Optional :class:`ExhaustiveOracle` whose label-cache hit rate the
+        snapshot reports.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` to publish into; a
+        private registry is created when omitted (standalone batchers,
+        tests).
+    labels:
+        Label names/values attached to every series (the server passes
+        ``{"model": <route name>}`` so per-route series stay distinct in
+        one shared registry).
     """
 
-    _BOUNDS = _geometric_bounds(5e-5, 1.25, 64)     # upper bucket edges, s
+    _COUNTERS = (
+        ("_requests", "repro_requests_total",
+         "Prediction requests received."),
+        ("_batches", "repro_batches_total",
+         "Coalesced batches served."),
+        ("_samples", "repro_samples_total",
+         "Rows served across all batches."),
+        ("_queued_samples", "repro_queued_samples_total",
+         "Rows that waited in the batcher queue."),
+        ("_forward_passes", "repro_forward_passes_total",
+         "Engine forward passes completed."),
+        ("_forward_rows", "repro_forward_rows_total",
+         "Rows pushed through engine forward passes."),
+        ("_forward_seconds", "repro_forward_seconds_total",
+         "Seconds spent inside engine forward passes."),
+        ("_queue_wait_seconds", "repro_queue_wait_seconds_total",
+         "Seconds queued rows spent waiting for their batch."),
+        ("_sweeps", "repro_sweeps_total",
+         "Streaming sweeps completed."),
+        ("_sweep_rows", "repro_sweep_rows_total",
+         "Rows served across streaming sweeps."),
+        ("_sweep_chunks", "repro_sweep_chunks_total",
+         "Chunks streamed across sweeps."),
+        ("_errors", "repro_errors_total",
+         "Requests that failed with an error."),
+    )
 
-    def __init__(self):
-        self._counts = [0] * (len(self._BOUNDS) + 1)    # +1: overflow
-        self.count = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        seconds = max(float(seconds), 0.0)
-        self._counts[bisect.bisect_left(self._BOUNDS, seconds)] += 1
-        self.count += 1
-        self.total_s += seconds
-        self.max_s = max(self.max_s, seconds)
-
-    @property
-    def mean_s(self) -> float:
-        return self.total_s / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """The ``q`` in [0, 100] percentile estimate in seconds."""
-        return self._percentile_of(self._counts, q, self.max_s)
-
-    @classmethod
-    def _percentile_of(cls, counts, q: float, max_s: float) -> float:
-        total = sum(counts)
-        if not total:
-            return 0.0
-        target = max(1, -(-int(total * q) // 100))      # ceil(total*q/100)
-        seen = 0
-        for i, bucket in enumerate(counts):
-            seen += bucket
-            if seen >= target:
-                edge = cls._BOUNDS[i] if i < len(cls._BOUNDS) else max_s
-                return min(edge, max_s)
-        return max_s
-
-    def snapshot(self) -> dict:
-        """JSON-ready percentiles plus the raw buckets (for merging)."""
-        return self._render(list(self._counts), self.count, self.total_s,
-                            self.max_s)
-
-    @classmethod
-    def _render(cls, counts, count, total_s, max_s) -> dict:
-        return {"count": count,
-                "mean_ms": (total_s / count if count else 0.0) * 1e3,
-                "p50_ms": cls._percentile_of(counts, 50, max_s) * 1e3,
-                "p95_ms": cls._percentile_of(counts, 95, max_s) * 1e3,
-                "p99_ms": cls._percentile_of(counts, 99, max_s) * 1e3,
-                "max_ms": max_s * 1e3,
-                "buckets": counts}
-
-    @classmethod
-    def merge_snapshots(cls, docs) -> dict:
-        """Aggregate snapshot dicts: sum buckets, recompute percentiles."""
-        docs = [d for d in docs if d and d.get("buckets")]
-        counts = [0] * (len(cls._BOUNDS) + 1)
-        for doc in docs:
-            for i, bucket in enumerate(doc["buckets"][:len(counts)]):
-                counts[i] += bucket
-        return cls._render(counts,
-                           sum(d["count"] for d in docs),
-                           sum(d["mean_ms"] / 1e3 * d["count"] for d in docs),
-                           max((d["max_ms"] / 1e3 for d in docs),
-                               default=0.0))
-
-
-class ServingStats:
-    """Aggregate serving counters (all methods thread-safe)."""
-
-    def __init__(self, oracle: ExhaustiveOracle | None = None):
+    def __init__(self, oracle: ExhaustiveOracle | None = None,
+                 registry: MetricsRegistry | None = None,
+                 labels: dict | None = None):
         self._lock = threading.Lock()
         self.oracle = oracle
         self.started_at = time.time()
-        self.requests_total = 0
-        self.batches_total = 0
-        self.samples_total = 0
-        self.queued_samples = 0     # rows that waited in the queue (the
-                                    # denominator of the mean queue wait;
-                                    # bulk fast-path rows never queue)
-        self.forward_passes = 0
-        self.forward_rows = 0
-        self.forward_time_s = 0.0
-        self.queue_wait_total_s = 0.0
-        self.queue_wait_max_s = 0.0
-        self.sweeps_total = 0
-        self.sweep_rows_total = 0
-        self.sweep_chunks_total = 0
-        self.errors_total = 0
-        self.latency = LatencyHistogram()
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        names = tuple(self.labels)
+        for attr, metric, help in self._COUNTERS:
+            family = self.registry.counter(metric, help, names)
+            setattr(self, attr, family.labels(**self.labels)
+                    if names else family.labels())
+        gauge = self.registry.gauge("repro_queue_wait_max_seconds",
+                                    "Longest observed batcher queue wait.",
+                                    names)
+        self._queue_wait_max = gauge.labels(**self.labels) if names \
+            else gauge.labels()
+        hist = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Whole-request service latency at the HTTP front-end.", names)
+        self._latency = hist.labels(**self.labels) if names \
+            else hist.labels()
 
     # ------------------------------------------------------------------
     def record_request(self, count: int = 1) -> None:
         with self._lock:
-            self.requests_total += count
+            self._requests.inc(count)
 
     def record_batch(self, size: int, queue_waits_s) -> None:
         """One served batch: its size and the waits of its *queued* rows
         (empty for the bulk fast path, which never queues)."""
         with self._lock:
-            self.batches_total += 1
-            self.samples_total += size
+            self._batches.inc()
+            self._samples.inc(size)
             for wait in queue_waits_s:
-                self.queued_samples += 1
-                self.queue_wait_total_s += wait
-                self.queue_wait_max_s = max(self.queue_wait_max_s, wait)
+                self._queued_samples.inc()
+                self._queue_wait_seconds.inc(wait)
+                self._queue_wait_max.set_max(wait)
 
     def record_forward(self, rows: int, elapsed_s: float) -> None:
         """``on_batch`` hook: one engine forward pass completed."""
         with self._lock:
-            self.forward_passes += 1
-            self.forward_rows += rows
-            self.forward_time_s += elapsed_s
+            self._forward_passes.inc()
+            self._forward_rows.inc(rows)
+            self._forward_seconds.inc(elapsed_s)
 
     def record_sweep(self, rows: int, chunks: int) -> None:
         """One completed streaming sweep: its row and chunk counts."""
         with self._lock:
-            self.sweeps_total += 1
-            self.sweep_rows_total += rows
-            self.sweep_chunks_total += chunks
+            self._sweeps.inc()
+            self._sweep_rows.inc(rows)
+            self._sweep_chunks.inc(chunks)
 
     def record_error(self) -> None:
         with self._lock:
-            self.errors_total += 1
+            self._errors.inc()
 
     def record_latency(self, seconds: float) -> None:
         """One served request's whole-service latency (HTTP front-ends)."""
         with self._lock:
-            self.latency.record(seconds)
+            self._latency.observe(seconds)
 
     # ------------------------------------------------------------------
+    # Back-compat accessors (the pre-telemetry attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def requests_total(self) -> int:
+        return self._requests.value
+
+    @property
+    def batches_total(self) -> int:
+        return self._batches.value
+
+    @property
+    def samples_total(self) -> int:
+        return self._samples.value
+
+    @property
+    def queued_samples(self) -> int:
+        return self._queued_samples.value
+
+    @property
+    def forward_passes(self) -> int:
+        return self._forward_passes.value
+
+    @property
+    def forward_rows(self) -> int:
+        return self._forward_rows.value
+
+    @property
+    def forward_time_s(self) -> float:
+        return float(self._forward_seconds.value)
+
+    @property
+    def queue_wait_total_s(self) -> float:
+        return float(self._queue_wait_seconds.value)
+
+    @property
+    def queue_wait_max_s(self) -> float:
+        return float(self._queue_wait_max.value)
+
+    @property
+    def sweeps_total(self) -> int:
+        return self._sweeps.value
+
+    @property
+    def sweep_rows_total(self) -> int:
+        return self._sweep_rows.value
+
+    @property
+    def sweep_chunks_total(self) -> int:
+        return self._sweep_chunks.value
+
+    @property
+    def errors_total(self) -> int:
+        return self._errors.value
+
+    @property
+    def latency(self) -> LatencyHistogram:
+        """The raw request-latency histogram (read-side back-compat)."""
+        return self._latency.raw
+
     @property
     def mean_batch_size(self) -> float:
-        return self.samples_total / self.batches_total if self.batches_total \
-            else 0.0
+        batches = self.batches_total
+        return self.samples_total / batches if batches else 0.0
 
     @property
     def mean_queue_wait_s(self) -> float:
-        return self.queue_wait_total_s / self.queued_samples \
-            if self.queued_samples else 0.0
+        queued = self.queued_samples
+        return self.queue_wait_total_s / queued if queued else 0.0
 
     def snapshot(self) -> dict:
-        """A JSON-ready copy of every counter (plus derived rates)."""
+        """A JSON-ready copy of every counter (plus derived rates).
+
+        The document is key-for-key and type-for-type identical to the
+        pre-telemetry ``ServingStats`` — it is now *derived* from the
+        metrics registry rather than from private attributes.
+        """
         with self._lock:
             doc = {
                 "uptime_s": time.time() - self.started_at,
-                "requests_total": self.requests_total,
-                "batches_total": self.batches_total,
-                "samples_total": self.samples_total,
-                "queued_samples": self.queued_samples,
+                "requests_total": self._requests.value,
+                "batches_total": self._batches.value,
+                "samples_total": self._samples.value,
+                "queued_samples": self._queued_samples.value,
                 "mean_batch_size": self.mean_batch_size,
-                "forward_passes": self.forward_passes,
-                "forward_rows": self.forward_rows,
-                "forward_time_s": self.forward_time_s,
+                "forward_passes": self._forward_passes.value,
+                "forward_rows": self._forward_rows.value,
+                "forward_time_s": float(self._forward_seconds.value),
                 "mean_queue_wait_ms": self.mean_queue_wait_s * 1e3,
-                "max_queue_wait_ms": self.queue_wait_max_s * 1e3,
-                "queue_wait_total_s": self.queue_wait_total_s,
-                "sweeps_total": self.sweeps_total,
-                "sweep_rows_total": self.sweep_rows_total,
-                "sweep_chunks_total": self.sweep_chunks_total,
-                "errors_total": self.errors_total,
-                "latency": self.latency.snapshot(),
+                "max_queue_wait_ms": float(self._queue_wait_max.value) * 1e3,
+                "queue_wait_total_s": float(self._queue_wait_seconds.value),
+                "sweeps_total": self._sweeps.value,
+                "sweep_rows_total": self._sweep_rows.value,
+                "sweep_chunks_total": self._sweep_chunks.value,
+                "errors_total": self._errors.value,
+                "latency": self._latency.snapshot(),
             }
         if self.oracle is not None:
             info = self.oracle.cache_info()
@@ -224,13 +248,18 @@ class ServingStats:
 
         Counters sum; means are recomputed from the summed numerators and
         denominators (never averaged-of-averages); maxima take the max.
+        Heterogeneous snapshots are tolerated: a route whose snapshot
+        predates a newly-added counter (e.g. after a route hot-add
+        mid-flight) contributes zero for the missing key instead of
+        raising ``KeyError`` out of the aggregate ``/stats``.
         """
+        snapshots = list(snapshots)
         merged = {"uptime_s": uptime_s}
         for key in ("requests_total", "batches_total", "samples_total",
                     "queued_samples", "forward_passes", "forward_rows",
                     "forward_time_s", "queue_wait_total_s", "sweeps_total",
                     "sweep_rows_total", "sweep_chunks_total", "errors_total"):
-            merged[key] = sum(s[key] for s in snapshots)
+            merged[key] = sum(s.get(key, 0) for s in snapshots)
         merged["mean_batch_size"] = (
             merged["samples_total"] / merged["batches_total"]
             if merged["batches_total"] else 0.0)
@@ -238,7 +267,8 @@ class ServingStats:
             1e3 * merged["queue_wait_total_s"] / merged["queued_samples"]
             if merged["queued_samples"] else 0.0)
         merged["max_queue_wait_ms"] = max(
-            (s["max_queue_wait_ms"] for s in snapshots), default=0.0)
+            (s.get("max_queue_wait_ms", 0.0) for s in snapshots),
+            default=0.0)
         merged["latency"] = LatencyHistogram.merge_snapshots(
             s.get("latency") for s in snapshots)
         return merged

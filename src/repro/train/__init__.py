@@ -10,7 +10,7 @@ for resumable checkpoints, early stopping and throughput statistics.
 """
 
 from .callbacks import (Callback, Checkpointer, EarlyStopping,
-                        ThroughputMonitor)
+                        ProfilerCallback, ThroughputMonitor)
 from .checkpoint import (CheckpointMismatchError, checkpoint_exists,
                          load_checkpoint, save_checkpoint)
 from .loop import OptimSpec, StepContext, TrainLoop, TrainTask
@@ -18,6 +18,7 @@ from .loop import OptimSpec, StepContext, TrainLoop, TrainTask
 __all__ = [
     "TrainLoop", "TrainTask", "OptimSpec", "StepContext",
     "Callback", "Checkpointer", "EarlyStopping", "ThroughputMonitor",
+    "ProfilerCallback",
     "save_checkpoint", "load_checkpoint", "checkpoint_exists",
     "CheckpointMismatchError",
 ]

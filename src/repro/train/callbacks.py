@@ -1,22 +1,27 @@
 """Callbacks for the unified :class:`~repro.train.TrainLoop`.
 
-Three stock callbacks cover the runtime's side channels:
+Four stock callbacks cover the runtime's side channels:
 
 * :class:`Checkpointer` — periodic resumable snapshots (the loop attaches
   one automatically when ``fit(checkpoint_path=...)`` is given);
 * :class:`EarlyStopping` — stop when a monitored history key stops
   improving;
 * :class:`ThroughputMonitor` — per-epoch samples/sec accounting for
-  benchmarks and the ``repro train`` CLI.
+  benchmarks and the ``repro train`` CLI;
+* :class:`ProfilerCallback` — per-phase (data/forward/backward/optimizer)
+  wall-time histograms via :class:`~repro.obs.PhaseProfiler`, surfaced
+  by ``repro train --json --profile``.
 """
 
 from __future__ import annotations
 
 import math
 
+from ..obs import PhaseProfiler
 from .checkpoint import save_checkpoint
 
-__all__ = ["Callback", "Checkpointer", "EarlyStopping", "ThroughputMonitor"]
+__all__ = ["Callback", "Checkpointer", "EarlyStopping", "ThroughputMonitor",
+           "ProfilerCallback"]
 
 
 class Callback:
@@ -157,3 +162,27 @@ class ThroughputMonitor(Callback):
             return 0.0
         samples = sum(e["samples"] for e in self.epochs)
         return samples / max(self.total_seconds, 1e-12)
+
+
+class ProfilerCallback(Callback):
+    """Attach a :class:`~repro.obs.PhaseProfiler` to the loop.
+
+    The loop stays on its un-instrumented fast path unless a profiler is
+    attached, so profiling is strictly opt-in; with this callback every
+    batch's data/forward/backward/optimizer wall time lands in per-phase
+    histograms (see :meth:`snapshot`).  Pass a
+    :class:`~repro.obs.MetricsRegistry` to additionally publish
+    ``repro_train_phase_seconds{phase=...}`` for scraping.
+    """
+
+    def __init__(self, profiler: PhaseProfiler | None = None,
+                 registry=None):
+        self.profiler = profiler if profiler is not None \
+            else PhaseProfiler(registry=registry)
+
+    def on_fit_begin(self, loop) -> None:
+        loop.profiler = self.profiler
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-phase stats (count/mean/p50/p95/share)."""
+        return self.profiler.snapshot()

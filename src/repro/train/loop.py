@@ -48,12 +48,20 @@ class OptimSpec:
 
 
 class StepContext:
-    """Handed to :meth:`TrainTask.batch_step`; applies optimiser updates."""
+    """Handed to :meth:`TrainTask.batch_step`; applies optimiser updates.
+
+    When the loop carries a :class:`~repro.obs.PhaseProfiler`
+    (``profiler`` is set), :meth:`apply` additionally times the backward
+    pass and the optimiser update into it — this is where the
+    forward/backward boundary is visible, so the loop can attribute the
+    rest of ``batch_step`` to the forward phase by subtraction.
+    """
 
     def __init__(self, optimizers: dict[str, nn.Optimizer],
                  specs: dict[str, OptimSpec]):
         self._optimizers = optimizers
         self._specs = specs
+        self.profiler = None
 
     def apply(self, loss, name: str = "main"):
         """zero_grad -> backward -> clip -> step on the named optimiser.
@@ -65,11 +73,25 @@ class StepContext:
         """
         opt = self._optimizers[name]
         spec = self._specs[name]
+        profiler = self.profiler
+        if profiler is None:
+            opt.zero_grad()
+            loss.backward()
+            if spec.grad_clip is not None:
+                opt.clip_grad_norm(spec.grad_clip)
+            opt.step()
+            return loss
+        tic = time.perf_counter()
         opt.zero_grad()
+        zero_s = time.perf_counter() - tic
+        tic = time.perf_counter()
         loss.backward()
+        profiler.record("backward", time.perf_counter() - tic)
+        tic = time.perf_counter()
         if spec.grad_clip is not None:
             opt.clip_grad_norm(spec.grad_clip)
         opt.step()
+        profiler.record("optimizer", zero_s + time.perf_counter() - tic)
         return loss
 
 
@@ -143,6 +165,9 @@ class TrainLoop:
         self.active_callbacks: list = []
         self.last_epoch_seconds = 0.0
         self.last_epoch_samples = 0
+        # Optional per-phase wall-time profiler; None keeps the loop on
+        # its original un-instrumented path (zero added work per batch).
+        self.profiler = None
 
     @property
     def model(self) -> nn.Module:
@@ -186,6 +211,10 @@ class TrainLoop:
         step = StepContext(self.optimizers, self._specs)
         for cb in callbacks:
             cb.on_fit_begin(self)
+        # Callbacks (e.g. ProfilerCallback) may have attached a profiler
+        # in on_fit_begin; read it once and pin it on the step context.
+        profiler = self.profiler
+        step.profiler = profiler
         for epoch in range(self.start_epoch, task.epochs):
             if self.should_stop:
                 break
@@ -194,12 +223,35 @@ class TrainLoop:
             sums = dict.fromkeys(task.history_keys, 0.0)
             batches = 0
             samples = 0
-            for batch in loader:
-                metrics = task.batch_step(batch, step, self.rng)
-                for key in sums:
-                    sums[key] += metrics[key]
-                batches += 1
-                samples += len(batch[0])
+            if profiler is None:
+                for batch in loader:
+                    metrics = task.batch_step(batch, step, self.rng)
+                    for key in sums:
+                        sums[key] += metrics[key]
+                    batches += 1
+                    samples += len(batch[0])
+            else:
+                iterator = iter(loader)
+                while True:
+                    tic_data = time.perf_counter()
+                    try:
+                        batch = next(iterator)
+                    except StopIteration:
+                        break
+                    profiler.record("data",
+                                    time.perf_counter() - tic_data)
+                    profiler.start_batch()
+                    tic_step = time.perf_counter()
+                    metrics = task.batch_step(batch, step, self.rng)
+                    step_s = time.perf_counter() - tic_step
+                    # Forward by subtraction: batch_step minus whatever
+                    # StepContext.apply booked as backward/optimizer.
+                    profiler.record("forward",
+                                    step_s - profiler.batch_seconds())
+                    for key in sums:
+                        sums[key] += metrics[key]
+                    batches += 1
+                    samples += len(batch[0])
             for scheduler in self.schedulers.values():
                 scheduler.step()
             for key in self.history:

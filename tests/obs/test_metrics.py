@@ -1,0 +1,175 @@
+"""MetricsRegistry: families, labelled children, Prometheus rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestFamilies:
+    def test_create_or_get_is_idempotent(self, registry):
+        first = registry.counter("repro_things_total", "Things.")
+        again = registry.counter("repro_things_total", "Things.")
+        assert first is again
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_x_total", "X.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total", "X.")
+
+    def test_label_set_conflict_rejected(self, registry):
+        registry.counter("repro_y_total", "Y.", ("model",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_y_total", "Y.", ("model", "route"))
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad-name", "Nope.")
+
+    def test_invalid_label_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_ok_total", "OK.", ("bad-label",))
+
+    def test_families_sorted_by_name(self, registry):
+        registry.gauge("repro_b", "B.")
+        registry.gauge("repro_a", "A.")
+        assert [f.name for f in registry.families()] \
+            == ["repro_a", "repro_b"]
+
+
+class TestChildren:
+    def test_counter_accumulates_and_rejects_negative(self, registry):
+        child = registry.counter("repro_c_total", "C.").labels()
+        child.inc()
+        child.inc(4)
+        assert child.value == 5
+        with pytest.raises(ValueError):
+            child.inc(-1)
+
+    def test_labels_positional_and_keyword_agree(self, registry):
+        family = registry.counter("repro_l_total", "L.", ("model",))
+        assert family.labels("m1") is family.labels(model="m1")
+        assert family.labels("m1") is not family.labels("m2")
+
+    def test_labels_arity_checked(self, registry):
+        family = registry.counter("repro_a_total", "A.", ("model",))
+        with pytest.raises(ValueError):
+            family.labels()
+        with pytest.raises(ValueError):
+            family.labels("a", "b")
+        with pytest.raises(ValueError):
+            family.labels(route="x")
+        with pytest.raises(TypeError):
+            family.labels("a", model="b")
+
+    def test_gauge_operations(self, registry):
+        gauge = registry.gauge("repro_g", "G.").labels()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+        gauge.set_max(4)
+        assert gauge.value == 13
+        gauge.set_max(40)
+        assert gauge.value == 40
+
+    def test_gauge_callback_evaluated_at_read(self, registry):
+        gauge = registry.gauge("repro_cb", "CB.").labels()
+        box = {"v": 1}
+        gauge.set_function(lambda: box["v"])
+        assert gauge.value == 1
+        box["v"] = 7
+        assert gauge.value == 7
+
+    def test_histogram_observe_and_snapshot(self, registry):
+        hist = registry.histogram("repro_h_seconds", "H.").labels()
+        hist.observe(0.001)
+        hist.observe(0.002)
+        assert hist.count == 2
+        assert hist.total_s == pytest.approx(0.003)
+        assert hist.snapshot()["count"] == 2
+
+    def test_remove_drops_series(self, registry):
+        family = registry.gauge("repro_r", "R.", ("model",))
+        family.labels(model="gone").set(1)
+        family.remove(model="gone")
+        assert "gone" not in registry.render()
+
+    def test_concurrent_increments_are_lossless(self, registry):
+        child = registry.counter("repro_mt_total", "MT.").labels()
+
+        def spin():
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert child.value == 8000
+
+
+class TestRender:
+    def test_help_and_type_lines(self, registry):
+        registry.counter("repro_req_total", "Requests.").labels().inc(3)
+        text = registry.render()
+        assert "# HELP repro_req_total Requests.\n" in text
+        assert "# TYPE repro_req_total counter\n" in text
+        assert "repro_req_total 3\n" in text
+
+    def test_labelled_series(self, registry):
+        family = registry.counter("repro_m_total", "M.", ("model",))
+        family.labels(model="a").inc()
+        family.labels(model="b").inc(2)
+        text = registry.render()
+        assert 'repro_m_total{model="a"} 1\n' in text
+        assert 'repro_m_total{model="b"} 2\n' in text
+
+    def test_label_values_escaped(self, registry):
+        family = registry.gauge("repro_e", "E.", ("path",))
+        family.labels(path='a"b\\c\nd').set(1)
+        text = registry.render()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self, registry):
+        hist = registry.histogram("repro_lat_seconds", "Lat.").labels()
+        hist.observe(1e-4)
+        hist.observe(1e-4)
+        hist.observe(1e-1)
+        lines = registry.render().splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("repro_lat_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)            # cumulative
+        assert counts[-1] == 3
+        assert buckets[-1].startswith('repro_lat_seconds_bucket{le="+Inf"}')
+        assert any(line.startswith("repro_lat_seconds_sum ")
+                   for line in lines)
+        assert "repro_lat_seconds_count 3" in lines
+
+    def test_histogram_bucket_labels_include_family_labels(self, registry):
+        family = registry.histogram("repro_p_seconds", "P.", ("phase",))
+        family.labels(phase="forward").observe(0.001)
+        text = registry.render()
+        assert 'repro_p_seconds_bucket{phase="forward",le="5e-05"}' in text
+        assert 'repro_p_seconds_count{phase="forward"} 1\n' in text
+
+    def test_collect_shape(self, registry):
+        registry.counter("repro_c_total", "C.", ("model",)) \
+            .labels(model="m").inc(2)
+        doc = registry.collect()
+        assert doc["repro_c_total"]["type"] == "counter"
+        assert doc["repro_c_total"]["series"]["model=m"] == 2
+
+    def test_render_ends_with_newline(self, registry):
+        registry.gauge("repro_g", "G.").labels().set(1)
+        assert registry.render().endswith("\n")
