@@ -1,5 +1,5 @@
-"""Stage-2 train-step throughput: fused autograd hot path vs the frozen
-op-by-op reference, plus the train-phase profiling overhead gate.
+"""Stage-2 train-step throughput: graph replay vs fused eager vs the
+frozen op-by-op reference, plus the train-phase profiling overhead gate.
 
 The acceptance gate of the fused compute path (PR 4): a full stage-2
 decoder fit (default ``ModelConfig``/``Stage2Config``, batch 256, 20
@@ -15,12 +15,30 @@ The telemetry layer (PR 7) adds a second gate: the same fused fit with a
 histograms every batch) must cost <= 3% per median step and keep the loss
 history bit-identical — see ``run_profile_overhead``.
 
+The graph-capture engine (PR 8) adds a third mode: the same fit with
+``repro.nn.graph_capture`` on (the default) — trace the step once,
+compile it into a fused, arena-backed flat schedule, replay every
+subsequent step — again with a bit-identical loss history.  Both paths
+run the same arithmetic (bit-identity forbids reassociation), so what
+replay removes is per-step dispatch and allocation: Tensor/closure
+construction and fresh output arrays.  That win is environment-dependent
+— measured 1.05-1.5x per step on the same hardware depending on
+allocator pressure (fresh-allocation cost balloons under memory load;
+the arena is immune), and ~2x vs the op-by-op reference — so the graph
+gate is direction-only at every scale: replay may never lose to fused
+eager dispatch.  The structural payoff is the IR itself: fusion and
+buffer planning are derived, not hand-maintained, and a second execution
+backend can replace the numpy closures without touching capture.
+
 The win is Python-and-memory overhead, not FLOPs: the fused kernels replay
 the composed chains' exact numpy expressions in one node each, so both
 paths do the same arithmetic; the reference additionally pays ~180 graph
 nodes/closures per step (vs ~50), per-batch copies, per-parameter
 optimiser loops, and a frozen-encoder forward pass every step that the
-fused path computes once per fit.
+fused path computes once per fit.  Graph replay then removes the
+remaining per-step dispatch: no Tensor/closure allocation at all, and
+forward outputs write into a liveness-planned buffer arena instead of
+fresh allocations.
 
 Run standalone to record the perf trajectory::
 
@@ -51,14 +69,24 @@ from repro.core import AirchitectV2, ModelConfig, Stage2Config, Stage2Trainer
 from repro.dse import DSEProblem, generate_random_dataset
 
 SPEEDUP_TARGET = 2.0
+# Graph replay vs fused eager, per step.  Direction-only: both paths run
+# identical arithmetic, and the dispatch/allocation cost replay removes
+# swings 1.05-1.5x with allocator pressure, so any magnitude gate here
+# would assert machine state, not code.  Replay must simply never lose.
+GRAPH_TARGET = 1.0
 OVERHEAD_LIMIT = 0.03
 SAMPLES_DEFAULT = 2048
 EPOCHS_DEFAULT = 20
 ROUNDS_DEFAULT = 3
 
+# (fused, graph_capture) per benched execution mode.
+MODES = {"reference": (False, False),
+         "fused": (True, False),
+         "graph": (True, True)}
+
 
 def _fit(problem, dataset, model_config, stage2_config,
-         fused: bool, profile: bool = False):
+         fused: bool, graph: bool = False, profile: bool = False):
     """One full stage-2 fit.
 
     Returns (total wall seconds, per-epoch wall seconds, loss history,
@@ -69,7 +97,7 @@ def _fit(problem, dataset, model_config, stage2_config,
     """
     from repro.train import ProfilerCallback, ThroughputMonitor
 
-    with nn.fused_kernels(fused):
+    with nn.fused_kernels(fused), nn.graph_capture(graph):
         model = AirchitectV2(model_config, problem, np.random.default_rng(0))
         trainer = Stage2Trainer(model, stage2_config)
         monitor = ThroughputMonitor()
@@ -87,25 +115,28 @@ def _fit(problem, dataset, model_config, stage2_config,
 
 def run_bench(samples: int = SAMPLES_DEFAULT, epochs: int = EPOCHS_DEFAULT,
               rounds: int = ROUNDS_DEFAULT, seed: int = 7,
-              model_config: ModelConfig | None = None) -> dict:
+              model_config: ModelConfig | None = None,
+              batch_size: int | None = None) -> dict:
     problem = DSEProblem()
     dataset = generate_random_dataset(problem, samples,
                                       np.random.default_rng(seed))
     model_config = model_config or ModelConfig()
-    stage2 = Stage2Config(epochs=epochs)
+    stage2 = (Stage2Config(epochs=epochs) if batch_size is None
+              else Stage2Config(epochs=epochs, batch_size=batch_size))
 
     # Warm caches (BLAS init, page pools) outside the measurement.
-    _fit(problem, dataset, model_config, Stage2Config(epochs=1), fused=True)
+    _fit(problem, dataset, model_config, Stage2Config(epochs=1),
+         fused=True, graph=True)
 
-    totals = {False: float("inf"), True: float("inf")}
-    epoch_times: dict[bool, list[float]] = {False: [], True: []}
+    totals = {mode: float("inf") for mode in MODES}
+    epoch_times: dict[str, list[float]] = {mode: [] for mode in MODES}
     histories = {}
     for _ in range(rounds):
-        for fused in (False, True):
-            total, epoch_seconds, histories[fused], _ = _fit(
-                problem, dataset, model_config, stage2, fused)
-            totals[fused] = min(totals[fused], total)
-            epoch_times[fused].extend(epoch_seconds)
+        for mode, (fused, graph) in MODES.items():
+            total, epoch_seconds, histories[mode], _ = _fit(
+                problem, dataset, model_config, stage2, fused, graph)
+            totals[mode] = min(totals[mode], total)
+            epoch_times[mode].extend(epoch_seconds)
 
     # The gate metric is steady-state step throughput: the *median* epoch
     # per mode over rounds x epochs (the typical cost — robust against
@@ -113,27 +144,32 @@ def run_bench(samples: int = SAMPLES_DEFAULT, epochs: int = EPOCHS_DEFAULT,
     # whichever mode has the noisier distribution), divided into steps.
     # Full-fit wall times are recorded alongside for the end-to-end view.
     steps_per_epoch = samples // stage2.batch_size
-    ref_step = float(np.median(epoch_times[False])) / steps_per_epoch
-    fused_step = float(np.median(epoch_times[True])) / steps_per_epoch
-    return {"samples": samples,
-            "epochs": epochs,
-            "batch_size": stage2.batch_size,
-            "steps_per_epoch": steps_per_epoch,
-            "rounds": rounds,
-            "d_model": model_config.d_model,
-            "n_layers": model_config.n_layers,
-            "reference_fit_s": totals[False],
-            "fused_fit_s": totals[True],
-            "fit_speedup": totals[False] / max(totals[True], 1e-12),
-            "reference_best_epoch_s": min(epoch_times[False]),
-            "fused_best_epoch_s": min(epoch_times[True]),
-            "reference_step_ms": 1000.0 * ref_step,
-            "fused_step_ms": 1000.0 * fused_step,
-            "reference_steps_per_sec": 1.0 / max(ref_step, 1e-12),
-            "fused_steps_per_sec": 1.0 / max(fused_step, 1e-12),
-            "speedup": ref_step / max(fused_step, 1e-12),
-            "identical_history": bool(histories[False] == histories[True]),
-            "speedup_target": SPEEDUP_TARGET}
+    step = {mode: float(np.median(times)) / steps_per_epoch
+            for mode, times in epoch_times.items()}
+    result = {"samples": samples,
+              "epochs": epochs,
+              "batch_size": stage2.batch_size,
+              "steps_per_epoch": steps_per_epoch,
+              "rounds": rounds,
+              "d_model": model_config.d_model,
+              "n_layers": model_config.n_layers,
+              "fit_speedup": totals["reference"] / max(totals["fused"],
+                                                       1e-12),
+              "speedup": step["reference"] / max(step["fused"], 1e-12),
+              "graph_speedup": step["reference"] / max(step["graph"], 1e-12),
+              "graph_speedup_vs_fused": step["fused"] / max(step["graph"],
+                                                            1e-12),
+              "identical_history": bool(
+                  histories["reference"] == histories["fused"]
+                  == histories["graph"]),
+              "speedup_target": SPEEDUP_TARGET,
+              "graph_target": GRAPH_TARGET}
+    for mode in MODES:
+        result[f"{mode}_fit_s"] = totals[mode]
+        result[f"{mode}_best_epoch_s"] = min(epoch_times[mode])
+        result[f"{mode}_step_ms"] = 1000.0 * step[mode]
+        result[f"{mode}_steps_per_sec"] = 1.0 / max(step[mode], 1e-12)
+    return result
 
 
 def run_profile_overhead(samples: int = SAMPLES_DEFAULT,
@@ -147,6 +183,11 @@ def run_profile_overhead(samples: int = SAMPLES_DEFAULT,
     histograms on every batch); the profiled median step must stay within
     ``OVERHEAD_LIMIT`` of the plain one, and the loss history must remain
     bit-identical — profiling may never change what the model computes.
+
+    Graph capture is held off on both sides: the gate is defined against
+    the instrumented eager loop (which every fallback batch still runs);
+    the replay path's profiled timing mirrors ``StepContext.apply`` and
+    is covered by the parity tests instead.
     """
     problem = DSEProblem()
     dataset = generate_random_dataset(problem, samples,
@@ -192,8 +233,15 @@ def run_smoke() -> dict:
     """Tiny configuration for CI: asserts direction, not magnitude."""
     config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
                          head_hidden=32, num_buckets=8)
-    result = run_bench(samples=512, epochs=6, rounds=2, model_config=config)
+    # Batch 64 keeps this in the dispatch-bound regime (per-step
+    # Tensor/closure construction dominates the tiny matmuls) and gives
+    # the per-epoch medians 8 steps instead of 2.
+    result = run_bench(samples=512, epochs=6, rounds=2, model_config=config,
+                       batch_size=64)
     result["smoke"] = True
+    # Direction-only fused gate at this scale: the win must exist, not
+    # hit the full-size magnitude target.  (The graph gate is
+    # direction-only at every scale — see GRAPH_TARGET.)
     result["speedup_target"] = 1.0
     # More rounds than the speedup bench: the 3% gate needs a stable
     # median at this tiny scale, and each extra round costs ~0.1s.
@@ -209,6 +257,29 @@ def test_fused_train_step_beats_reference(benchmark):
     print(json.dumps(result, indent=2))
     assert result["identical_history"]
     assert result["speedup"] >= SPEEDUP_TARGET
+    # Replay may never lose to eager fused dispatch.
+    assert result["graph_speedup_vs_fused"] >= GRAPH_TARGET
+
+
+@pytest.mark.slow
+def test_graph_replay_never_loses_dispatch_bound():
+    """Graph replay wins where dispatch dominates, ~2x vs the reference.
+
+    The dispatch-bound regime: a decoder small enough that per-step
+    Tensor/closure construction and fresh output allocation — the costs
+    replay removes — are a visible share of the step.  The magnitude of
+    the win tracks allocator pressure (1.05-1.5x measured on the same
+    hardware), so the gate is direction-only here too; the reference
+    comparison is the stable magnitude claim.
+    """
+    config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+                         head_hidden=32, num_buckets=8)
+    result = run_bench(samples=512, epochs=6, rounds=3, model_config=config,
+                       batch_size=64)
+    print(json.dumps(result, indent=2))
+    assert result["identical_history"]
+    assert result["graph_speedup_vs_fused"] >= GRAPH_TARGET
+    assert result["graph_speedup"] >= 1.5
 
 
 @pytest.mark.slow
@@ -250,12 +321,17 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(text + "\n")
     failed = False
     if not result["identical_history"]:
-        print("FAIL: fused loss history diverges from the unfused reference",
+        print("FAIL: loss histories diverge across reference/fused/graph",
               file=sys.stderr)
         failed = True
     if result["speedup"] < result["speedup_target"]:
         print(f"FAIL: speedup {result['speedup']:.2f}x < "
               f"{result['speedup_target']:.1f}x target", file=sys.stderr)
+        failed = True
+    if result["graph_speedup_vs_fused"] < result["graph_target"]:
+        print(f"FAIL: graph replay {result['graph_speedup_vs_fused']:.2f}x "
+              f"vs fused < {result['graph_target']:.2f}x target",
+              file=sys.stderr)
         failed = True
     profiling = result["profiling"]
     if not profiling["identical_history"]:

@@ -33,11 +33,11 @@ path — back to the op-by-op reference implementation;
 
 from __future__ import annotations
 
-import contextlib
 import math
 
 import numpy as np
 
+from .switches import Switch
 from .tensor import Tensor, _unbroadcast
 
 __all__ = ["fused_enabled", "fused_kernels", "linear", "gelu", "layer_norm",
@@ -46,27 +46,24 @@ __all__ = ["fused_enabled", "fused_kernels", "linear", "gelu", "layer_norm",
            "unification_loss", "split_heads", "merge_heads"]
 
 
-_FUSED = [True]
+_FUSED = Switch(True, name="fused_kernels")
 
 
 def fused_enabled() -> bool:
     """Whether the fused fast path (kernels, arenas, loader) is active."""
-    return _FUSED[-1]
+    return _FUSED.enabled
 
 
-@contextlib.contextmanager
 def fused_kernels(enabled: bool = True):
     """Enable/disable the fused fast path within a scope.
 
-    ``with fused_kernels(False):`` runs the frozen op-by-op reference
-    implementation (same bits, more Python) — the baseline the training
-    benchmark measures against.
+    Returns an exception-safe context manager: ``with fused_kernels(False):``
+    runs the frozen op-by-op reference implementation (same bits, more
+    Python) — the baseline the training benchmark measures against — and
+    the override is popped even if the body raises, so a failing test can
+    never leak a disabled fast path into the rest of the process.
     """
-    _FUSED.append(bool(enabled))
-    try:
-        yield
-    finally:
-        _FUSED.pop()
+    return _FUSED(enabled)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None) -> Tensor:
@@ -89,7 +86,7 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None) -> Tensor:
                                                   wd.shape))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out, parents, backward)
+    return Tensor._make(out, parents, backward, "fused.linear")
 
 
 _GELU_C = math.sqrt(2.0 / math.pi)
@@ -123,7 +120,7 @@ def gelu(x: Tensor) -> Tensor:
         x._accumulate_owned(gq)                      # from x * x (both
         x._accumulate(gq)                            #  operand slots)
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.gelu")
 
 
 def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float) -> Tensor:
@@ -155,7 +152,8 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float) -> Tensor:
             gsum1 = _unbroadcast(-gc, mean.shape) * inv
             x._accumulate(np.broadcast_to(gsum1, xd.shape))
 
-    return Tensor._make(out, (x, gamma, beta), backward)
+    return Tensor._make(out, (x, gamma, beta), backward, "fused.layer_norm",
+                        {"eps": eps})
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -173,7 +171,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         ge = ge + np.broadcast_to(gs, exps.shape)
         x._accumulate_owned(ge * exps)
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.softmax", {"axis": axis})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -193,7 +191,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
         gt = np.broadcast_to(gse, e.shape) * e
         x._accumulate_owned(grad + gt)
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.log_softmax",
+                        {"axis": axis})
 
 
 def normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
@@ -214,7 +213,8 @@ def normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
         x._accumulate(gx)
         x._accumulate(gx)
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.normalize",
+                        {"axis": axis, "eps": eps})
 
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
@@ -233,7 +233,7 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
             b._accumulate_owned(_unbroadcast(np.swapaxes(ad, -1, -2) @ g,
                                              bd.shape))
 
-    return Tensor._make(out, (a, b), backward)
+    return Tensor._make(out, (a, b), backward, "fused.matmul")
 
 
 def scaled_matmul(a: Tensor, b: Tensor, scale: float) -> Tensor:
@@ -256,7 +256,8 @@ def scaled_matmul(a: Tensor, b: Tensor, scale: float) -> Tensor:
             b._accumulate_owned(_unbroadcast(np.swapaxes(ad, -1, -2) @ g,
                                              bd.shape))
 
-    return Tensor._make(out, (a, b), backward)
+    return Tensor._make(out, (a, b), backward, "fused.scaled_matmul",
+                        {"scale": scale})
 
 
 def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -281,7 +282,8 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
         logits._accumulate(gax * np.sign(xd))
         logits._accumulate(-grad * targets)
 
-    return Tensor._make(out, (logits,), backward)
+    return Tensor._make(out, (logits,), backward, "fused.bce_with_logits",
+                        {"target": targets})
 
 
 def l1_mean(pred: Tensor, target: np.ndarray) -> Tensor:
@@ -297,7 +299,8 @@ def l1_mean(pred: Tensor, target: np.ndarray) -> Tensor:
         ga = np.broadcast_to(grad * (1.0 / n), a.shape)
         pred._accumulate_owned(_unbroadcast(ga * np.sign(d), pred.data.shape))
 
-    return Tensor._make(out, (pred,), backward)
+    return Tensor._make(out, (pred,), backward, "fused.l1_mean",
+                        {"target": target})
 
 
 def mse_mean(pred: Tensor, target: np.ndarray) -> Tensor:
@@ -315,7 +318,8 @@ def mse_mean(pred: Tensor, target: np.ndarray) -> Tensor:
         gd = gd + gsq * d
         pred._accumulate_owned(_unbroadcast(gd, pred.data.shape))
 
-    return Tensor._make(out, (pred,), backward)
+    return Tensor._make(out, (pred,), backward, "fused.mse_mean",
+                        {"target": target})
 
 
 def unification_loss(logits: Tensor, q: np.ndarray, alpha: float) -> Tensor:
@@ -366,7 +370,8 @@ def unification_loss(logits: Tensor, q: np.ndarray, alpha: float) -> Tensor:
         logits._accumulate(gax * np.sign(xd))
         logits._accumulate(-gbce * q)
 
-    return Tensor._make(out, (logits,), backward)
+    return Tensor._make(out, (logits,), backward, "fused.unification_loss",
+                        {"q": q, "alpha": alpha})
 
 
 def split_heads(x: Tensor, num_heads: int, head_dim: int) -> Tensor:
@@ -382,7 +387,8 @@ def split_heads(x: Tensor, num_heads: int, head_dim: int) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad.swapaxes(1, 2).reshape(b, s, dim))
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.split_heads",
+                        {"num_heads": num_heads, "head_dim": head_dim})
 
 
 def merge_heads(x: Tensor) -> Tensor:
@@ -394,7 +400,7 @@ def merge_heads(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad.reshape(b, s, h, hd).swapaxes(1, 2))
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward, "fused.merge_heads")
 
 
 def nll_mean(log_probs: Tensor, onehot: np.ndarray) -> Tensor:
@@ -411,4 +417,5 @@ def nll_mean(log_probs: Tensor, onehot: np.ndarray) -> Tensor:
         gp = np.broadcast_to(np.expand_dims(gs1, -1), p.shape)
         log_probs._accumulate_owned(gp * onehot)
 
-    return Tensor._make(out, (log_probs,), backward)
+    return Tensor._make(out, (log_probs,), backward, "fused.nll_mean",
+                        {"onehot": onehot})

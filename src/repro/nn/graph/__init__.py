@@ -1,0 +1,31 @@
+"""Lazy graph-capture execution engine: trace once, fuse, plan, replay.
+
+The package splits cleanly along the capture -> compile -> replay
+pipeline:
+
+* :mod:`.ir` — tracing-time IR (:class:`Node`, :class:`Tracer`) built by
+  the :func:`repro.nn.tensor.tracing` hook while a step runs eagerly.
+* :mod:`.ops` — the lowering registry: one ``OpDef`` per traced op with
+  forward/backward closure builders mirroring the eager expressions
+  bit-for-bit.
+* :mod:`.fusion` — dispatch-level fusion of elementwise forward chains.
+* :mod:`.liveness` — output-buffer lifetimes and arena planning.
+* :mod:`.schedule` — ``compile_trace`` and the replayable
+  :class:`CompiledStep`.
+* :mod:`.engine` — :class:`GraphExecutor` (capture cache, fallback, obs
+  counters) and the ``graph_capture`` switch.
+"""
+
+from .engine import GraphExecutor, graph_capture, graph_enabled
+from .ir import CaptureError, Tracer
+from .schedule import CompiledStep, compile_trace
+
+__all__ = [
+    "CaptureError",
+    "CompiledStep",
+    "GraphExecutor",
+    "Tracer",
+    "compile_trace",
+    "graph_capture",
+    "graph_enabled",
+]

@@ -1,0 +1,214 @@
+"""The capture/compile/replay executor and the ``graph_capture`` switch.
+
+:class:`GraphExecutor` sits between :class:`repro.train.TrainLoop` and a
+task's ``batch_step``.  For tasks that implement ``graph_step`` (which
+names the per-step input arrays and a pure ``fn(*inputs) -> loss``), the
+first step per (input-shapes, fused-mode) key runs *eagerly under the
+tracer* — so the capture step itself is an ordinary eager step, free to
+fail capture — and is compiled into a :class:`~.schedule.CompiledStep`.
+Every subsequent step with the same key replays the compiled schedule:
+no Tensor/closure allocation, fused forward entries, arena-backed
+buffers, and the reference backward post-order bit-for-bit.
+
+Any cache miss falls back to eager automatically: a new batch shape
+recompiles (the last partial batch of an epoch simply becomes a second
+key), an uncapturable trace (dropout masks, fresh one-hot targets, an
+op without a lowering) caches a failure sentinel so the fit continues
+eagerly, and ``repro.nn.graph_capture(False)`` switches the engine off
+wholesale.  Compile/replay/fallback counters and an arena-bytes gauge
+are published through :func:`repro.obs.get_registry`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..switches import Switch
+from ..fused import fused_enabled
+from ..tensor import tracing
+from .ir import CaptureError, Tracer
+from .schedule import compile_trace
+
+__all__ = ["GraphExecutor", "graph_capture", "graph_enabled"]
+
+
+_CAPTURE = Switch(True, name="graph_capture")
+
+
+def graph_enabled() -> bool:
+    """Whether graph capture/replay is active (escape hatch: off)."""
+    return _CAPTURE.enabled
+
+
+def graph_capture(enabled: bool = True):
+    """Enable/disable graph capture within a scope (exception-safe).
+
+    ``with graph_capture(False):`` forces every step through the eager
+    (or fused-eager) dispatch path — the escape hatch when a workload
+    is step-varying in ways the tracer cannot see.
+    """
+    return _CAPTURE(enabled)
+
+
+_FAILED = object()   # cache sentinel: this key cannot be compiled
+
+
+class GraphExecutor:
+    """Per-fit capture cache + replay driver for one task.
+
+    The cache lives on the loop (one executor per fit), keyed by
+    ``(optimiser-name, input shapes/dtypes, fused-mode)`` — a batch-shape
+    change mid-fit or a toggled ``fused_kernels`` between fits can never
+    replay a stale schedule.  Parameter identity is stable across a fit
+    (``load_state_dict`` writes in place), and compiled steps read
+    parameter data live, so weight updates need no invalidation.
+    """
+
+    def __init__(self, task, enabled: bool = True):
+        self.task = task
+        self.enabled = bool(enabled)
+        self._cache: dict = {}
+        self.captures = 0
+        self.replays = 0
+        self.fallbacks = 0
+        self.failures: list[str] = []
+        self._metrics = None
+
+    @property
+    def active(self) -> bool:
+        return self.enabled
+
+    # -- metrics -------------------------------------------------------
+    def _obs(self):
+        if self._metrics is None:
+            from ...obs import get_registry
+            registry = get_registry()
+            labels = (self.task.name,)
+            self._metrics = {
+                "captures": registry.counter(
+                    "repro_graph_captures_total",
+                    "Train steps captured and compiled into a graph "
+                    "schedule", ("task",)).labels(*labels),
+                "replays": registry.counter(
+                    "repro_graph_replays_total",
+                    "Train steps executed by compiled-schedule replay",
+                    ("task",)).labels(*labels),
+                "fallbacks": registry.counter(
+                    "repro_graph_fallbacks_total",
+                    "Train steps that fell back to eager dispatch",
+                    ("task",)).labels(*labels),
+                "arena": registry.gauge(
+                    "repro_graph_arena_bytes",
+                    "Preallocated arena bytes across this task's "
+                    "compiled schedules", ("task",)).labels(*labels),
+            }
+        return self._metrics
+
+    # -- execution -----------------------------------------------------
+    def run(self, batch, step, rng):
+        """Drop-in for ``task.batch_step`` with capture/replay/fallback."""
+        task = self.task
+        plan = task.graph_step(batch) if self.enabled else None
+        if plan is None:
+            self.fallbacks += 1
+            self._obs()["fallbacks"].inc()
+            return task.batch_step(batch, step, rng)
+        inputs, fn = plan[0], plan[1]
+        name = plan[2] if len(plan) > 2 else "main"
+        key = (name, tuple((a.shape, a.dtype.str) for a in inputs),
+               fused_enabled())
+        compiled = self._cache.get(key)
+        if compiled is None:
+            return self._capture(key, inputs, fn, name, step)
+        if compiled is _FAILED:
+            self.fallbacks += 1
+            self._obs()["fallbacks"].inc()
+            return task.batch_step(batch, step, rng)
+        return self._replay(compiled, inputs, name, step)
+
+    def _capture(self, key, inputs, fn, name, step):
+        """Trace one eager step, apply it, then try to compile it."""
+        tracer = Tracer()
+        for array in inputs:
+            tracer.register_input(array)
+        with tracing(tracer):
+            loss = fn(*inputs)
+        # The capture step *is* an eager step: apply it normally so the
+        # fit's numbers never depend on whether compilation succeeds.
+        step.apply(loss, name)
+        metrics = self.task.graph_metrics(loss.item())
+
+        loss_idx = tracer.lookup(loss)
+        if tracer.failed is None and loss_idx is None:
+            tracer.fail("loss tensor was not produced under the trace")
+        compiled = None
+        if tracer.failed is None:
+            try:
+                compiled = compile_trace(tracer.nodes, loss_idx)
+            except CaptureError as exc:
+                tracer.fail(str(exc))
+        if compiled is None:
+            self._cache[key] = _FAILED
+            self.failures.append(tracer.failed or "unknown")
+            self.fallbacks += 1
+            self._obs()["fallbacks"].inc()
+        else:
+            self._cache[key] = compiled
+            self.captures += 1
+            obs = self._obs()
+            obs["captures"].inc()
+            obs["arena"].set(float(self.arena_bytes))
+        return metrics
+
+    def _replay(self, compiled, inputs, name, step):
+        """Execute one compiled step, mirroring ``StepContext.apply``."""
+        opt = step._optimizers[name]
+        spec = step._specs[name]
+        profiler = step.profiler
+        if profiler is None:
+            opt.zero_grad()
+            loss = compiled.run_forward(inputs)
+            compiled.run_backward()
+            if spec.grad_clip is not None:
+                opt.clip_grad_norm(spec.grad_clip)
+            opt.step()
+        else:
+            tic = time.perf_counter()
+            opt.zero_grad()
+            zero_s = time.perf_counter() - tic
+            loss = compiled.run_forward(inputs)
+            tic = time.perf_counter()
+            compiled.run_backward()
+            profiler.record("backward", time.perf_counter() - tic)
+            tic = time.perf_counter()
+            if spec.grad_clip is not None:
+                opt.clip_grad_norm(spec.grad_clip)
+            opt.step()
+            profiler.record("optimizer",
+                            zero_s + time.perf_counter() - tic)
+        self.replays += 1
+        self._obs()["replays"].inc()
+        return self.task.graph_metrics(float(loss))
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def arena_bytes(self) -> int:
+        return sum(c.arena_bytes for c in self._cache.values()
+                   if c is not _FAILED)
+
+    def report(self) -> dict:
+        """Self-describing execution summary for callbacks / ``--json``."""
+        if self.replays or self.captures:
+            backend = "graph"
+        elif fused_enabled():
+            backend = "fused"
+        else:
+            backend = "eager"
+        return {"backend": backend,
+                "graph_enabled": self.enabled,
+                "cache_entries": len(self._cache),
+                "captures": self.captures,
+                "replays": self.replays,
+                "fallbacks": self.fallbacks,
+                "arena_bytes": self.arena_bytes,
+                "failures": list(self.failures)}

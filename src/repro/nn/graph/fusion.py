@@ -1,0 +1,41 @@
+"""Forward-schedule fusion: group elementwise chains into one entry.
+
+Maximal runs of single-parent elementwise ops whose parent is the
+immediately preceding node in the schedule are collapsed into a single
+schedule entry executed as one unit.  The heavy multi-op fusion — the
+numpy-*expression* fusion — already lives in the traced
+:mod:`repro.nn.fused` kernel nodes (a traced fused kernel *is* a fused
+chain recorded as one IR node); this pass handles the generic leftovers
+at dispatch level, dropping per-op schedule overhead without touching
+any value or ordering: grouped ops stay in exactly the same relative
+order, and because each chain member's sole data dependency inside the
+group is its predecessor, executing the group as one entry is
+observationally identical to executing its members one by one.
+
+The backward schedule is deliberately left flat: every backward entry
+keeps its own ``grad is not None`` fire guard, mirroring
+``Tensor.backward`` exactly — gradient-arrival order is the contract,
+so the backward is replayed entry by entry in the reference DFS
+post-order.
+"""
+
+from __future__ import annotations
+
+from .ops import OPS
+
+__all__ = ["fuse_forward"]
+
+
+def fuse_forward(fwd_order, nodes):
+    """Group the forward order into chains: a list of lists of node idx."""
+    groups: list[list[int]] = []
+    for idx in fwd_order:
+        node = nodes[idx]
+        if (groups
+                and OPS[node.op].ewise_unary
+                and len(node.parents) == 1
+                and node.parents[0] == groups[-1][-1]):
+            groups[-1].append(idx)
+        else:
+            groups.append([idx])
+    return groups

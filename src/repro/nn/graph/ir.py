@@ -1,0 +1,199 @@
+"""Graph IR for the capture/compile/replay execution engine.
+
+A :class:`Tracer` rides along an *eager* training step: while installed
+via :func:`repro.nn.tensor.tracing`, every tensor produced through
+``Tensor._make`` is reported here and recorded as a :class:`Node` — op
+kind, parent node ids, static shape/dtype, and the op's kwargs.  The
+step still executes through the normal eager kernels, so capture never
+changes values and a trace that turns out to be uncapturable (a random
+dropout mask, an unregistered constant array) costs nothing: the tracer
+just marks itself failed and the engine falls back to eager dispatch.
+
+Leaf classification
+-------------------
+A parent tensor not produced under the trace is a leaf.  It is matched
+in this order:
+
+* ``input`` — its ``.data`` is one of the arrays the task registered as
+  a per-step input (matched by array *identity*, which the eager path
+  preserves end-to-end for float64 arrays);
+* ``var`` — it requires grad (parameters).  The tracer keeps a strong
+  reference and the compiled step reads ``.data`` live on every replay,
+  so optimiser updates and ``load_state_dict`` (which writes in place)
+  are picked up without recompiling;
+* ``const`` — a size-1 array (shape- or config-derived scalars such as
+  ``mean``'s ``1/count``), snapshotted;
+* anything else fails the capture: a same-shape array that is neither a
+  registered input nor a parameter is step-varying data the graph cannot
+  see (dropout masks, fresh one-hot targets, InfoNCE masks).
+
+The same policy applies to ``numpy`` arrays inside op kwargs (the fused
+loss kernels pass targets as raw arrays): registered identity becomes an
+:class:`InputRef`, size-1 snapshots, anything else fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CaptureError", "InputRef", "Node", "Tracer",
+           "LEAF_INPUT", "LEAF_VAR", "LEAF_CONST"]
+
+LEAF_INPUT = "input"
+LEAF_VAR = "var"
+LEAF_CONST = "const"
+
+
+class CaptureError(RuntimeError):
+    """A trace cannot be compiled into a replayable schedule."""
+
+
+class InputRef:
+    """A kwarg array resolved from the per-step inputs at replay time."""
+
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: int):
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InputRef({self.pos})"
+
+
+class Node:
+    """One IR node: an op application or a leaf binding."""
+
+    __slots__ = ("idx", "op", "parents", "meta", "shape", "dtype",
+                 "requires_grad", "leaf", "input_pos", "var", "const")
+
+    def __init__(self, idx: int, op: str | None, parents: tuple[int, ...],
+                 meta: dict | None, shape: tuple[int, ...], dtype,
+                 requires_grad: bool):
+        self.idx = idx
+        self.op = op                      # None for leaves
+        self.parents = parents
+        self.meta = meta
+        self.shape = shape
+        self.dtype = dtype
+        self.requires_grad = requires_grad
+        self.leaf: str | None = None      # LEAF_* kind, None for interior
+        self.input_pos: int | None = None
+        self.var = None                   # strong Tensor ref for LEAF_VAR
+        self.const: np.ndarray | None = None
+
+    @property
+    def interior(self) -> bool:
+        return self.leaf is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = self.op if self.interior else f"leaf:{self.leaf}"
+        return f"Node({self.idx}, {kind}, {self.shape})"
+
+
+class Tracer:
+    """Records one eager step as IR; see the module docstring."""
+
+    def __init__(self, supported_ops=None):
+        from .ops import OPS
+        self._ops = OPS if supported_ops is None else supported_ops
+        self.nodes: list[Node] = []
+        self.index: dict[int, int] = {}       # id(tensor) -> node idx
+        self._inputs: dict[int, int] = {}     # id(array) -> input position
+        self.n_inputs = 0
+        self.failed: str | None = None
+        # Strong refs keep every classified tensor alive for the duration
+        # of the trace, so CPython cannot recycle an id() into a stale
+        # ``index`` hit.
+        self._keep: list = []
+
+    # -- setup ---------------------------------------------------------
+    def register_input(self, array: np.ndarray) -> int:
+        """Declare a per-step input array (matched by identity)."""
+        pos = self._inputs.get(id(array))
+        if pos is None:
+            pos = self.n_inputs
+            self._inputs[id(array)] = pos
+            self.n_inputs += 1
+            self._keep.append(array)
+        return pos
+
+    # -- recording -----------------------------------------------------
+    def fail(self, reason: str) -> None:
+        if self.failed is None:
+            self.failed = reason
+
+    def record(self, out, op: str | None, parents, meta: dict | None) -> None:
+        """Called from ``Tensor._make`` for every op built under the trace."""
+        if self.failed is not None:
+            return
+        if op is None or op not in self._ops:
+            self.fail(f"op {op!r} has no graph lowering")
+            return
+        parent_idx = []
+        for parent in parents:
+            idx = self.index.get(id(parent))
+            if idx is None:
+                idx = self._classify_leaf(parent)
+                if idx is None:
+                    return
+            parent_idx.append(idx)
+        if meta is not None:
+            try:
+                meta = self._sanitize(meta)
+            except CaptureError as exc:
+                self.fail(str(exc))
+                return
+        node = Node(len(self.nodes), op, tuple(parent_idx), meta,
+                    out.data.shape, out.data.dtype, out.requires_grad)
+        self.nodes.append(node)
+        self.index[id(out)] = node.idx
+        self._keep.append(out)
+
+    def lookup(self, tensor) -> int | None:
+        """The node index of a traced tensor (e.g. the loss), if any."""
+        return self.index.get(id(tensor))
+
+    # -- leaf / kwarg classification -----------------------------------
+    def _classify_leaf(self, tensor) -> int | None:
+        arr = tensor.data
+        node = Node(len(self.nodes), None, (), None, arr.shape, arr.dtype,
+                    False)
+        pos = self._inputs.get(id(arr))
+        if pos is not None:
+            if tensor.requires_grad:
+                self.fail("a registered input requires grad")
+                return None
+            node.leaf = LEAF_INPUT
+            node.input_pos = pos
+        elif tensor.requires_grad:
+            node.leaf = LEAF_VAR
+            node.requires_grad = True
+            node.var = tensor
+        elif arr.size == 1:
+            node.leaf = LEAF_CONST
+            node.const = arr.copy()
+        else:
+            self.fail(f"untracked array leaf (shape {arr.shape}) — "
+                      "step-varying data the graph cannot replay")
+            return None
+        self.nodes.append(node)
+        self.index[id(tensor)] = node.idx
+        self._keep.append(tensor)
+        return node.idx
+
+    def _sanitize(self, value):
+        """Make an op kwarg replayable, or raise :class:`CaptureError`."""
+        if isinstance(value, np.ndarray):
+            pos = self._inputs.get(id(value))
+            if pos is not None:
+                return InputRef(pos)
+            if value.size == 1:
+                return value.copy()
+            raise CaptureError(
+                f"untracked kwarg array (shape {value.shape})")
+        if isinstance(value, dict):
+            return {k: self._sanitize(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return type(value)(self._sanitize(v) for v in value)
+        # ints / floats / bools / None / slices / strings are static.
+        return value

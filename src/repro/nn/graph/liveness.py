@@ -1,0 +1,111 @@
+"""Liveness analysis and arena buffer planning for compiled schedules.
+
+Forward *output* buffers are the allocation hot spot of an eager step:
+every op allocates a fresh result array each step.  With the schedule
+fixed, each node's output lifetime is fully static, so same-shape
+buffers can be pooled and preallocated once per compile — replays then
+write into the arena instead of allocating.
+
+Rules that keep this bit-exact and alias-safe:
+
+* Only ops flagged ``out_ok`` get a planned buffer, and only where the
+  eager/fused kernel's expressions are pure ufunc/gemm writes (the
+  lowering decides how to use the buffer; values cannot change).
+* View ops (reshape/transpose/...) share their parent's *storage root*;
+  a view never gets its own buffer and extends its root's lifetime.
+* A node's lifetime runs from its forward position to its last read —
+  forward consumers, backward closures that re-read parent values
+  (``reads_parents_bwd``) or their own output (``reads_out_bwd``) —
+  measured on the combined forward+backward timeline.
+* At each forward position the node's buffer is claimed *before* any
+  buffer expiring at that position is returned to the pool, so an op
+  can never be handed a buffer that one of its own operands still
+  occupies (in-place gemm or permuted copies would corrupt values).
+* Backward gradients and saved intermediates are never arena'd — they
+  are freshly allocated exactly like the eager closures allocate them,
+  which keeps the adopt-don't-copy accumulation identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import OPS
+
+__all__ = ["plan_buffers"]
+
+# Below this many elements a pooled buffer saves less than the
+# bookkeeping costs; tiny arrays also tend to be reduction scalars.
+_MIN_ELEMENTS = 64
+
+
+def plan_buffers(nodes, fwd_order, bwd_order):
+    """Assign pooled output buffers.
+
+    Returns ``(buffers, arena_bytes, n_buffers)`` where ``buffers`` maps
+    node idx -> preallocated ndarray for eligible nodes.
+    """
+    # Storage root: views alias their (first) parent's storage.
+    root: dict[int, int | None] = {}
+    for node in nodes:
+        if not node.interior:
+            root[node.idx] = None          # leaves own external storage
+        elif OPS[node.op].view:
+            root[node.idx] = root[node.parents[0]]
+        else:
+            root[node.idx] = node.idx
+
+    fwd_pos = {idx: pos for pos, idx in enumerate(fwd_order)}
+    n_fwd = len(fwd_order)
+    last_use: dict[int, int] = {}
+
+    def bump(node_idx: int, pos: int) -> None:
+        r = root.get(node_idx)
+        if r is not None and pos > last_use.get(r, -1):
+            last_use[r] = pos
+
+    for pos, idx in enumerate(fwd_order):
+        node = nodes[idx]
+        bump(idx, pos)                      # creation / view aliasing
+        for parent in node.parents:
+            bump(parent, pos)
+    for offset, idx in enumerate(bwd_order):
+        pos = n_fwd + offset
+        node = nodes[idx]
+        opdef = OPS[node.op]
+        if opdef.reads_parents_bwd:
+            for parent in node.parents:
+                bump(parent, pos)
+        if opdef.reads_out_bwd:
+            bump(idx, pos)
+
+    # Greedy (shape, dtype)-keyed pooling over the forward order.
+    expiries: dict[int, list[int]] = {}
+    for r, pos in last_use.items():
+        expiries.setdefault(pos, []).append(r)
+    free: dict[tuple, list[np.ndarray]] = {}
+    buffers: dict[int, np.ndarray] = {}
+    arena_bytes = 0
+    n_buffers = 0
+    for pos, idx in enumerate(fwd_order):
+        node = nodes[idx]
+        opdef = OPS[node.op]
+        if (opdef.out_ok and not opdef.view and root[idx] == idx
+                and node.dtype.kind == "f"
+                and int(np.prod(node.shape or (1,))) >= _MIN_ELEMENTS):
+            key = (node.shape, node.dtype.str)
+            pool = free.get(key)
+            if pool:
+                buffers[idx] = pool.pop()
+            else:
+                buf = np.empty(node.shape, dtype=node.dtype)
+                buffers[idx] = buf
+                arena_bytes += buf.nbytes
+                n_buffers += 1
+        # Release only after this node claimed its buffer: an operand
+        # expiring here must not become this node's output storage.
+        for r in expiries.get(pos, ()):
+            buf = buffers.get(r)
+            if buf is not None and fwd_pos.get(r, -1) <= pos:
+                free.setdefault((buf.shape, buf.dtype.str), []).append(buf)
+    return buffers, arena_bytes, n_buffers

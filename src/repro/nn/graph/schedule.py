@@ -1,0 +1,216 @@
+"""Compile a traced IR into a flat, replayable schedule.
+
+``compile_trace`` turns the tracer's node list into a
+:class:`CompiledStep`:
+
+* **Forward schedule** — the reachable interior nodes in creation order
+  (creation order is a topological order by construction), grouped by
+  the fusion pass, each lowered to a closure over a shared slot state.
+* **Backward schedule** — the *exact* DFS post-order that
+  ``Tensor.backward`` would produce for this graph, replicated on node
+  indices: parents pushed in declaration order, explored LIFO,
+  visited-at-pop, fire guarded on a non-``None`` gradient.  Replaying
+  these entries reproduces the reference gradient-arrival order into
+  every shared operand bit-identically.
+* **Buffer plan** — the liveness pass preallocates pooled output
+  buffers (the arena) consumed by the lowered closures.
+
+Parameter gradients flow through each parameter's own
+``Tensor._accumulate`` (so flat-arena optimiser gradient buffers behave
+exactly as in eager mode), and parameter *values* are read live from
+``tensor.data`` on every replay — an optimiser update or an in-place
+``load_state_dict`` needs no recompile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fusion import fuse_forward
+from .ir import CaptureError, LEAF_CONST, LEAF_INPUT, LEAF_VAR
+from .liveness import plan_buffers
+from .ops import OPS
+
+__all__ = ["CompiledStep", "compile_trace"]
+
+
+class _State:
+    """Mutable slot state shared by every closure of one compiled step."""
+
+    __slots__ = ("vals", "saved", "grads", "ins")
+
+    def __init__(self, n: int):
+        self.vals = [None] * n
+        self.saved = [None] * n
+        self.grads = None
+        self.ins: tuple = ()
+
+
+class _Context:
+    """What op builders may ask of the compiler."""
+
+    def __init__(self, nodes, buffers):
+        self.nodes = nodes
+        self._buffers = buffers
+        self._sinks: dict[int, object] = {}
+
+    def shape(self, idx: int):
+        return self.nodes[idx].shape
+
+    def dtype(self, idx: int):
+        return self.nodes[idx].dtype
+
+    def buf(self, idx: int):
+        return self._buffers.get(idx)
+
+    def sink(self, idx: int):
+        """Gradient-arrival target for node ``idx`` (None: no grad flows).
+
+        Mirrors the eager closures' ``if parent.requires_grad`` guards:
+        parameters accumulate through their own ``Tensor._accumulate``
+        (first arrival copies / lands in the optimiser's arena view,
+        later arrivals add — identical to eager); interior nodes adopt
+        the first arrival and add subsequent ones, matching the values
+        the eager ``_accumulate_owned`` fast path produces.
+        """
+        if idx in self._sinks:
+            return self._sinks[idx]
+        node = self.nodes[idx]
+        if not node.requires_grad:
+            sink = None
+        elif node.leaf == LEAF_VAR:
+            tensor = node.var
+
+            def sink(st, grad, _t=tensor):
+                _t._accumulate(grad)
+        else:
+            def sink(st, grad, _j=idx):
+                grads = st.grads
+                cur = grads[_j]
+                grads[_j] = grad if cur is None else cur + grad
+        self._sinks[idx] = sink
+        return sink
+
+
+def _chain(fns):
+    def run(st, _fns=tuple(fns)):
+        for fn in _fns:
+            fn(st)
+    return run
+
+
+def compile_trace(nodes, loss_idx: int) -> "CompiledStep":
+    """Lower a completed trace into a :class:`CompiledStep`."""
+    loss = nodes[loss_idx]
+    if not loss.interior:
+        raise CaptureError("loss is not a traced op result")
+    if not loss.requires_grad:
+        raise CaptureError("loss does not require grad")
+
+    # Forward = reachable subgraph in creation (== topological) order.
+    reach: set[int] = set()
+    stack = [loss_idx]
+    while stack:
+        idx = stack.pop()
+        if idx in reach:
+            continue
+        reach.add(idx)
+        stack.extend(nodes[idx].parents)
+    fwd_order = [idx for idx in sorted(reach) if nodes[idx].interior]
+
+    # Backward = Tensor.backward's DFS post-order, replicated on indices
+    # (visited-at-pop, parents pushed in declaration order, LIFO).
+    topo: list[int] = []
+    visited: set[int] = set()
+    dfs: list[tuple[int, bool]] = [(loss_idx, False)]
+    while dfs:
+        idx, processed = dfs.pop()
+        if processed:
+            topo.append(idx)
+            continue
+        if idx in visited:
+            continue
+        visited.add(idx)
+        node = nodes[idx]
+        if node.interior and node.requires_grad:
+            dfs.append((idx, True))
+            for parent in node.parents:
+                if nodes[parent].requires_grad and parent not in visited:
+                    dfs.append((parent, False))
+    bwd_order = list(reversed(topo))
+
+    buffers, arena_bytes, n_buffers = plan_buffers(nodes, fwd_order,
+                                                   bwd_order)
+    ctx = _Context(nodes, buffers)
+    fwd_fns: dict[int, object] = {}
+    bwd_fns: dict[int, object] = {}
+    for idx in fwd_order:
+        node = nodes[idx]
+        fwd, bwd = OPS[node.op].build(node, ctx)
+        fwd_fns[idx] = fwd
+        bwd_fns[idx] = bwd
+
+    groups = fuse_forward(fwd_order, nodes)
+    forward = [fwd_fns[g[0]] if len(g) == 1 else _chain([fwd_fns[i]
+                                                         for i in g])
+               for g in groups]
+    backward = [(idx, bwd_fns[idx]) for idx in bwd_order]
+
+    const_binds = [(n.idx, n.const) for n in nodes if n.leaf == LEAF_CONST]
+    var_binds = [(n.idx, n.var) for n in nodes if n.leaf == LEAF_VAR]
+    input_binds = [(n.idx, n.input_pos) for n in nodes
+                   if n.leaf == LEAF_INPUT]
+    return CompiledStep(len(nodes), loss_idx, forward, backward,
+                        const_binds, var_binds, input_binds,
+                        np.ones(loss.shape, dtype=loss.dtype),
+                        arena_bytes, n_buffers,
+                        {"nodes": len(nodes),
+                         "scheduled": len(fwd_order),
+                         "forward_entries": len(forward),
+                         "backward_entries": len(backward)})
+
+
+class CompiledStep:
+    """A compiled forward+backward schedule over a preallocated arena."""
+
+    def __init__(self, n_nodes, loss_idx, forward, backward, const_binds,
+                 var_binds, input_binds, seed, arena_bytes, n_buffers,
+                 stats):
+        self._n = n_nodes
+        self._loss = loss_idx
+        self._forward = forward
+        self._backward = backward
+        self._vars = var_binds
+        self._inputs = input_binds
+        self._seed = seed
+        self.arena_bytes = arena_bytes
+        self.n_buffers = n_buffers
+        self.stats = stats
+        self._state = _State(n_nodes)
+        for idx, const in const_binds:
+            self._state.vals[idx] = const
+
+    def run_forward(self, inputs) -> np.ndarray:
+        """Execute the forward schedule; returns the loss value array."""
+        st = self._state
+        st.ins = inputs
+        vals = st.vals
+        for idx, tensor in self._vars:
+            vals[idx] = tensor.data       # live read: tracks updates
+        for idx, pos in self._inputs:
+            vals[idx] = inputs[pos]
+        for fn in self._forward:
+            fn(st)
+        return vals[self._loss]
+
+    def run_backward(self) -> None:
+        """Fire the backward schedule in the reference post-order."""
+        st = self._state
+        st.grads = [None] * self._n
+        st.grads[self._loss] = self._seed
+        grads = st.grads
+        for idx, fn in self._backward:
+            grad = grads[idx]
+            if grad is not None:
+                fn(st, grad)
+        st.grads = None

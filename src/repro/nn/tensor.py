@@ -39,6 +39,12 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "concat", "stack
 
 _GRAD_ENABLED = [True]
 
+# Active graph tracer (see repro.nn.graph).  While the top of this stack
+# is not None, every Tensor produced through ``Tensor._make`` is also
+# reported to the tracer — the op still executes eagerly, so a trace that
+# fails to capture costs nothing and changes no values.
+_TRACER = [None]
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -48,6 +54,16 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED.pop()
+
+
+@contextlib.contextmanager
+def tracing(tracer):
+    """Report every op built under this scope to ``tracer`` (graph capture)."""
+    _TRACER.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER.pop()
 
 
 def is_grad_enabled() -> bool:
@@ -160,13 +176,23 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None] | None) -> "Tensor":
-        """Create a result tensor, recording the graph edge if needed."""
+              backward: Callable[[np.ndarray], None] | None,
+              op: str | None = None, meta: dict | None = None) -> "Tensor":
+        """Create a result tensor, recording the graph edge if needed.
+
+        ``op``/``meta`` name the operation for graph capture: while a
+        tracer is installed (see :func:`tracing`), each result is also
+        recorded as an IR node so :mod:`repro.nn.graph` can compile and
+        replay the step without re-dispatching through Python.
+        """
         out = Tensor(data)
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
+        tracer = _TRACER[-1]
+        if tracer is not None:
+            tracer.record(out, op, parents, meta)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -270,7 +296,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "add")
 
     __radd__ = __add__
 
@@ -284,7 +310,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "sub")
 
     def __rsub__(self, other) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -299,7 +325,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -314,7 +340,7 @@ class Tensor:
                 other._accumulate(
                     _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -326,7 +352,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "neg")
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -337,7 +363,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "pow",
+                            {"exponent": exponent})
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
@@ -366,7 +393,7 @@ class Tensor:
                         gb = gb.sum(axis=tuple(range(gb.ndim - 1))) if gb.ndim > 1 else gb
                 other._accumulate(_unbroadcast(gb, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "matmul")
 
     def __rmatmul__(self, other) -> "Tensor":
         return as_tensor(other).__matmul__(self)
@@ -381,7 +408,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -390,7 +417,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -399,7 +426,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * 0.5 / out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "sqrt")
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -408,7 +435,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "abs")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -417,7 +444,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable logistic function.
@@ -430,7 +457,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -440,7 +467,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "relu")
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]``; gradient is zero outside the range."""
@@ -451,7 +478,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "clip",
+                            {"low": low, "high": high})
 
     def maximum(self, other) -> "Tensor":
         other = as_tensor(other)
@@ -466,7 +494,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * other_mask, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, "maximum")
 
     # ------------------------------------------------------------------
     # Reductions
@@ -482,7 +510,8 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "sum",
+                            {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -508,7 +537,8 @@ class Tensor:
             counts = mask.sum(axis=axis if axis is not None else None, keepdims=True)
             self._accumulate(np.broadcast_to(g, self.shape) * mask / counts)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "max",
+                            {"axis": axis, "keepdims": keepdims})
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -526,7 +556,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(in_shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "reshape",
+                            {"shape": tuple(out_data.shape)})
 
     def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
         out_data = self.data.transpose(axes)
@@ -539,7 +570,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "transpose",
+                            {"axes": None if axes is None else tuple(axes)})
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         out_data = self.data.swapaxes(a, b)
@@ -548,7 +580,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.swapaxes(a, b))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "swapaxes",
+                            {"a": a, "b": b})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -559,7 +592,8 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "getitem",
+                            {"index": index})
 
     def expand_dims(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self.data, axis)
@@ -568,7 +602,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "expand_dims",
+                            {"axis": axis})
 
     def squeeze(self, axis: int) -> "Tensor":
         out_data = np.squeeze(self.data, axis=axis)
@@ -577,7 +612,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.expand_dims(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, "squeeze",
+                            {"axis": axis})
 
 
 def as_tensor(value, requires_grad: bool = False) -> Tensor:
@@ -601,7 +637,7 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 index[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward, "concat", {"axis": axis})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -615,7 +651,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(slab)
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward, "stack", {"axis": axis})
 
 
 def where(condition, a, b) -> Tensor:
@@ -634,4 +670,4 @@ def where(condition, a, b) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "where", {"cond": cond})

@@ -10,15 +10,16 @@ for resumable checkpoints, early stopping and throughput statistics.
 """
 
 from .callbacks import (Callback, Checkpointer, EarlyStopping,
-                        ProfilerCallback, ThroughputMonitor)
+                        ExecutionMonitor, ProfilerCallback,
+                        ThroughputMonitor)
 from .checkpoint import (CheckpointMismatchError, checkpoint_exists,
                          load_checkpoint, save_checkpoint)
 from .loop import OptimSpec, StepContext, TrainLoop, TrainTask
 
 __all__ = [
     "TrainLoop", "TrainTask", "OptimSpec", "StepContext",
-    "Callback", "Checkpointer", "EarlyStopping", "ThroughputMonitor",
-    "ProfilerCallback",
+    "Callback", "Checkpointer", "EarlyStopping", "ExecutionMonitor",
+    "ThroughputMonitor", "ProfilerCallback",
     "save_checkpoint", "load_checkpoint", "checkpoint_exists",
     "CheckpointMismatchError",
 ]

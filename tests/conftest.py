@@ -7,8 +7,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.dse import DSEProblem, ExhaustiveOracle, generate_random_dataset
 from repro.experiments import Workspace
+
+
+@pytest.fixture(autouse=True)
+def _restore_execution_switches():
+    """Guarantee fused/graph toggles never leak across tests.
+
+    The switches are exception-safe context managers already; this
+    backstop also covers tests that flip them mid-assert and fail, or
+    call the module-level setters directly.
+    """
+    fused = nn.fused._FUSED.snapshot()
+    graph = nn.graph.engine._CAPTURE.snapshot()
+    yield
+    nn.fused._FUSED.restore(fused)
+    nn.graph.engine._CAPTURE.restore(graph)
 
 
 @pytest.fixture

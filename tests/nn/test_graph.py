@@ -1,0 +1,383 @@
+"""The lazy graph-capture engine's bit-identity and lifecycle contract.
+
+Replaying a compiled schedule must be indistinguishable — to the last
+bit — from running the same steps eagerly: identical loss histories,
+identical final weights, and identical gradient-arrival order into every
+parameter (``np.testing.assert_array_equal``, no tolerances — the same
+contract as ``tests/nn/test_fused.py``).  The lifecycle half covers the
+capture cache: shape changes recompile, ``load_state_dict`` needs no
+recompile, toggled switches change the key, uncapturable steps fall back
+to eager, and the switches themselves never leak state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import AirchitectV2, ModelConfig, Stage2Config, Stage2Trainer
+from repro.core.stage2 import _Stage2Task
+from repro.dse import DSEProblem, generate_random_dataset
+from repro.nn import tensor as tensor_mod
+from repro.nn.graph import CaptureError, Tracer, compile_trace
+from repro.train import Callback, TrainLoop
+
+
+# ---------------------------------------------------------------------------
+# Op-level roundtrips: trace -> compile -> replay == eager, bit for bit.
+# ---------------------------------------------------------------------------
+
+def _roundtrip(build, shapes, n_params=0, param_shape=(4, 3)):
+    """Capture ``build`` once, replay it on fresh arrays, compare to eager.
+
+    ``build(tensors, params)`` gets the input arrays pre-wrapped as
+    non-grad tensors plus ``n_params`` requires-grad parameter tensors,
+    and returns a loss tensor.
+    """
+    rng = np.random.default_rng(7)
+    # A shape entry may also be a prebuilt array (e.g. a bool mask input).
+    arrays = [shape if isinstance(shape, np.ndarray)
+              else rng.normal(size=shape) for shape in shapes]
+    pdata = [rng.normal(size=param_shape) for _ in range(n_params)]
+
+    def run(inputs, params):
+        tensors = [nn.Tensor(a) for a in inputs]
+        return build(tensors, params)
+
+    # Eager reference on fresh leaves.
+    ref_params = [nn.Tensor(d.copy(), requires_grad=True) for d in pdata]
+    ref_loss = run(arrays, ref_params)
+    ref_loss.backward()
+
+    # Capture (runs eagerly under the tracer), then replay.
+    params = [nn.Tensor(d.copy(), requires_grad=True) for d in pdata]
+    tracer = Tracer()
+    for array in arrays:
+        tracer.register_input(array)
+    with tensor_mod.tracing(tracer):
+        cap_loss = run(arrays, params)
+    assert tracer.failed is None, tracer.failed
+    compiled = compile_trace(tracer.nodes, tracer.lookup(cap_loss))
+    np.testing.assert_array_equal(cap_loss.data, ref_loss.data)
+
+    for _ in range(2):          # replay twice: arena reuse must be clean
+        for p in params:
+            p.grad = None
+        out = compiled.run_forward(tuple(arrays))
+        compiled.run_backward()
+        np.testing.assert_array_equal(out, ref_loss.data)
+        for p, rp in zip(params, ref_params):
+            np.testing.assert_array_equal(p.grad, rp.grad)
+    return compiled
+
+
+class TestOpRoundtrips:
+    def test_arithmetic_chain(self):
+        def build(ts, ps):
+            (x,), (w,) = ts, ps
+            y = ((x @ w) * 2.0 + 1.0 - x.sum() / 3.0).tanh()
+            return (y ** 2).sum()
+        _roundtrip(build, [(5, 4)], n_params=1)
+
+    def test_unary_chain_fuses(self):
+        def build(ts, ps):
+            (x,), (w,) = ts, ps
+            return (x @ w).exp().sqrt().log().abs().sigmoid().relu().sum()
+        compiled = _roundtrip(build, [(6, 4)], n_params=1)
+        # exp/sqrt/log/abs/sigmoid/relu collapse into the matmul's group.
+        assert compiled.stats["forward_entries"] < compiled.stats["scheduled"]
+
+    def test_reductions_and_clip(self):
+        def build(ts, ps):
+            (x,), (w,) = ts, ps
+            h = (x @ w).clip(-0.5, 0.5)
+            return (h.max(axis=1) + h.sum(axis=1, keepdims=True).squeeze(-1)
+                    + h.maximum(0.1).mean()).sum()
+        _roundtrip(build, [(5, 4)], n_params=1)
+
+    def test_views_and_shapes(self):
+        def build(ts, ps):
+            (x,), (w,) = ts, ps
+            h = x @ w
+            h = h.reshape((3, 1, 5)).squeeze(1).transpose((1, 0))
+            h = h.swapaxes(0, 1).expand_dims(0)
+            return (h[0, 1:, :] * 2.0).sum()
+        _roundtrip(build, [(3, 4)], n_params=1, param_shape=(4, 5))
+
+    def test_concat_stack_where(self):
+        mask = np.random.default_rng(9).normal(size=(10, 3)) > 0
+
+        def build(ts, ps):
+            (x, y, _), (w,) = ts, ps
+            a = x @ w
+            b = y @ w
+            both = nn.concat([a, b], axis=0) * 0.5
+            both = both + nn.stack([a, b], axis=0).sum(axis=0).sum(axis=0)
+            # The condition is the registered bool input itself (the
+            # Tensor wrapper would promote it to float): replayable.
+            return nn.where(mask, both, both * 0.5).sum()
+        _roundtrip(build, [(5, 4), (5, 4), mask], n_params=1)
+
+    def test_fused_kernels_trace(self):
+        layer = nn.Linear(6, 6, np.random.default_rng(0))
+        target = np.full((5, 6), 0.2)   # registered input, like a batch
+
+        def build(ts, ps):
+            (x, _) = ts
+            h = nn.functional.gelu(layer(x))
+            h = nn.functional.softmax(h, axis=-1)
+            return nn.mse_loss(h, target)
+        with nn.fused_kernels(True):
+            for p in layer.parameters():
+                p.grad = None
+            _roundtrip(build, [(5, 6), target])
+
+    def test_shared_operand_accumulation(self):
+        # One tensor feeding many consumers: arrival order is the contract.
+        def build(ts, ps):
+            (x,), (w,) = ts, ps
+            h = x @ w
+            return (h * h + h.exp() - h / 2.0 + h.relu()).sum()
+        _roundtrip(build, [(5, 4)], n_params=1)
+
+    def test_capture_failure_raises(self):
+        x = nn.Tensor(np.ones((4, 4)), requires_grad=True)
+        tracer = Tracer()
+        with tensor_mod.tracing(tracer):
+            # A fresh full-size ndarray leaf is untrackable by design.
+            loss = (x * np.random.default_rng(0).normal(size=(4, 4))).sum()
+        assert tracer.failed is not None
+        assert "untracked" in tracer.failed
+        # The failed trace never indexed the loss — and the eager value
+        # is untouched by the failure.
+        assert tracer.lookup(loss) is None
+        assert np.isfinite(loss.item())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: stage-2 fits, graph on vs off.
+# ---------------------------------------------------------------------------
+
+_MODEL = dict(d_model=16, n_layers=1, n_heads=2, embed_dim=8,
+              head_hidden=32, num_buckets=8)
+
+
+@pytest.fixture(scope="module")
+def graph_dataset():
+    problem = DSEProblem()
+    # 250 % 64 != 0: every epoch ends on a partial batch (second cache key).
+    data = generate_random_dataset(problem, 250, np.random.default_rng(31))
+    return problem, data
+
+
+def _stage2_fit(problem, dataset, graph, head_style="uov", epochs=3,
+                callbacks=(), dropout=0.0, samples=None):
+    config = ModelConfig(**_MODEL, head_style=head_style, dropout=dropout)
+    model = AirchitectV2(config, problem, np.random.default_rng(0))
+    trainer = Stage2Trainer(model, Stage2Config(epochs=epochs, batch_size=64,
+                                                seed=1))
+    with nn.graph_capture(graph):
+        loop = TrainLoop(_Stage2Task(trainer, dataset), callbacks=callbacks)
+        history = loop.fit()
+    weights = {key: np.array(value, copy=True)
+               for key, value in model.state_dict().items()}
+    return history, weights, loop.execution, model
+
+
+def _assert_identical(result_a, result_b):
+    history_a, weights_a = result_a[0], result_a[1]
+    history_b, weights_b = result_b[0], result_b[1]
+    assert history_a == history_b
+    assert weights_a.keys() == weights_b.keys()
+    for key in weights_a:
+        np.testing.assert_array_equal(weights_a[key], weights_b[key])
+
+
+class TestStage2Parity:
+    @pytest.mark.parametrize("head_style", ["uov", "regression"])
+    def test_bit_identical_fit(self, graph_dataset, head_style):
+        problem, dataset = graph_dataset
+        eager = _stage2_fit(problem, dataset, graph=False,
+                            head_style=head_style)
+        graph = _stage2_fit(problem, dataset, graph=True,
+                            head_style=head_style)
+        _assert_identical(eager, graph)
+        execution = graph[2]
+        assert execution["backend"] == "graph"
+        # Full batches + the trailing partial batch: two compiled entries.
+        assert execution["captures"] == 2
+        assert execution["cache_entries"] == 2
+        assert execution["replays"] > 0
+        assert execution["fallbacks"] == 0
+        assert execution["arena_bytes"] > 0
+
+    @pytest.mark.parametrize("head_style", ["classification", "joint"])
+    def test_uncapturable_styles_fall_back(self, graph_dataset, head_style):
+        # cross_entropy builds a fresh one-hot every step; the tracer
+        # rejects it and the fit silently stays eager — and identical.
+        problem, dataset = graph_dataset
+        eager = _stage2_fit(problem, dataset, graph=False,
+                            head_style=head_style)
+        graph = _stage2_fit(problem, dataset, graph=True,
+                            head_style=head_style)
+        _assert_identical(eager, graph)
+        execution = graph[2]
+        assert execution["replays"] == 0
+        assert execution["fallbacks"] > 0
+        assert execution["failures"]
+
+    def test_dropout_falls_back(self, graph_dataset):
+        # Train-mode dropout draws a fresh mask per step: uncapturable.
+        problem, dataset = graph_dataset
+        eager = _stage2_fit(problem, dataset, graph=False, dropout=0.3)
+        graph = _stage2_fit(problem, dataset, graph=True, dropout=0.3)
+        _assert_identical(eager, graph)
+        assert graph[2]["replays"] == 0
+
+    def test_gradient_arrival_order(self, graph_dataset, monkeypatch):
+        """Replay must hit every parameter in eager's exact arrival order.
+
+        Both paths get one shared pair of recording wrappers (installed
+        once — chaining two monkeypatches would double-log), writing to
+        whichever log is current.  Each arrival is logged as the raw
+        gradient bits; since every parameter's gradients differ, exact
+        sequence equality pins both the arrival *order* and the values.
+        """
+        problem, dataset = graph_dataset
+        log: list = []
+        accumulate = nn.Tensor._accumulate
+        accumulate_owned = nn.Tensor._accumulate_owned
+
+        def wrap_accumulate(self, grad):
+            if isinstance(self, nn.Parameter):
+                log.append(grad.copy())
+            return accumulate(self, grad)
+
+        def wrap_owned(self, grad):
+            if isinstance(self, nn.Parameter):
+                log.append(grad.copy())
+            return accumulate_owned(self, grad)
+
+        monkeypatch.setattr(nn.Tensor, "_accumulate", wrap_accumulate)
+        monkeypatch.setattr(nn.Tensor, "_accumulate_owned", wrap_owned)
+
+        _stage2_fit(problem, dataset, graph=False, epochs=2)
+        eager_log, log = log, []
+
+        _stage2_fit(problem, dataset, graph=True, epochs=2)
+        graph_log = log
+
+        assert len(eager_log) > 0
+        assert len(eager_log) == len(graph_log)
+        for grad_e, grad_g in zip(eager_log, graph_log):
+            np.testing.assert_array_equal(grad_e, grad_g)
+
+    def test_metrics_registry_series(self, graph_dataset):
+        from repro.obs import get_registry
+        problem, dataset = graph_dataset
+        _stage2_fit(problem, dataset, graph=True)
+        doc = get_registry().collect()
+        assert doc["repro_graph_captures_total"]["series"]["task=stage2"] > 0
+        assert doc["repro_graph_replays_total"]["series"]["task=stage2"] > 0
+        assert doc["repro_graph_arena_bytes"]["series"]["task=stage2"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Capture-cache invalidation.
+# ---------------------------------------------------------------------------
+
+class _MidFitReload(Callback):
+    """Snapshot weights at fit start, reload them after the first epoch.
+
+    ``load_state_dict`` copies into the existing parameter arrays, so an
+    already-captured schedule (which reads parameter data live) must
+    track the reload with no recompile — and stay bit-identical to an
+    eager fit doing the same reload.
+    """
+
+    def __init__(self):
+        self.state = None
+
+    def on_fit_begin(self, loop) -> None:
+        self.state = {key: np.array(value, copy=True)
+                      for key, value in loop.model.state_dict().items()}
+
+    def on_epoch_end(self, loop) -> None:
+        if loop.epoch == 0:
+            loop.model.load_state_dict(self.state)
+
+
+class TestCacheInvalidation:
+    def test_partial_batch_gets_own_entry(self, graph_dataset):
+        problem, dataset = graph_dataset
+        _, _, execution, _ = _stage2_fit(problem, dataset, graph=True)
+        keys = {entry for entry in (execution["cache_entries"],)}
+        assert keys == {2}
+        assert execution["captures"] == 2
+
+    def test_load_state_dict_after_capture(self, graph_dataset):
+        problem, dataset = graph_dataset
+        eager = _stage2_fit(problem, dataset, graph=False,
+                            callbacks=(_MidFitReload(),))
+        graph = _stage2_fit(problem, dataset, graph=True,
+                            callbacks=(_MidFitReload(),))
+        _assert_identical(eager, graph)
+        # The reload invalidated nothing: still one capture per shape.
+        assert graph[2]["captures"] == 2
+        assert graph[2]["replays"] > 0
+
+    def test_toggling_switches_between_fits(self, graph_dataset):
+        """fused/graph toggles re-key or bypass the engine, bit-identically."""
+        problem, dataset = graph_dataset
+        reference = _stage2_fit(problem, dataset, graph=False)
+
+        graphed = _stage2_fit(problem, dataset, graph=True)
+        _assert_identical(reference, graphed)
+
+        with nn.fused_kernels(False):
+            slow = _stage2_fit(problem, dataset, graph=True)
+        _assert_identical(reference, slow)
+        # fused off -> stage-2's graph_step declines -> pure eager.
+        assert slow[2]["backend"] == "eager"
+        assert slow[2]["replays"] == 0
+
+        again = _stage2_fit(problem, dataset, graph=True)
+        _assert_identical(reference, again)
+        assert again[2]["backend"] == "graph"
+
+
+# ---------------------------------------------------------------------------
+# The switches themselves.
+# ---------------------------------------------------------------------------
+
+class TestSwitches:
+    def test_graph_capture_exception_safe(self):
+        assert nn.graph_enabled()
+        with pytest.raises(RuntimeError):
+            with nn.graph_capture(False):
+                assert not nn.graph_enabled()
+                raise RuntimeError("boom")
+        assert nn.graph_enabled()
+
+    def test_fused_kernels_exception_safe(self):
+        assert nn.fused_enabled()
+        with pytest.raises(RuntimeError):
+            with nn.fused_kernels(False):
+                assert not nn.fused_enabled()
+                raise RuntimeError("boom")
+        assert nn.fused_enabled()
+
+    def test_nested_scopes(self):
+        with nn.graph_capture(False):
+            with nn.graph_capture(True):
+                assert nn.graph_enabled()
+            assert not nn.graph_enabled()
+        assert nn.graph_enabled()
+
+    def test_scope_close_is_idempotent(self):
+        scope = nn.graph_capture(False)
+        assert not nn.graph_enabled()
+        scope.close()
+        scope.close()
+        assert nn.graph_enabled()
