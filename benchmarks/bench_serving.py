@@ -18,6 +18,11 @@ Four gates, one per serving-subsystem promise:
 * **Tracing overhead** — requests carrying a trace context (client span
   propagated through the batcher's queue.wait and engine.forward spans,
   PR 7's telemetry layer) must cost <= 3% throughput vs plain requests.
+* **Fault-hook overhead** — the disarmed ``repro.faults.fire`` probes
+  threaded through the pool/persistence/serving layers (PR 9) must cost
+  <= 1% of a single-row engine pass per request, measured as the
+  per-call price of a disarmed probe times a generous per-request hook
+  count against the bare engine p50.
 
 Run standalone to record the perf trajectory::
 
@@ -53,6 +58,8 @@ import pytest
 from repro.core import (AirchitectV2, BatchedDSEPredictor, DSEPredictor,
                         ModelConfig)
 from repro.dse import DSEProblem
+from repro.faults import active as _active_faults
+from repro.faults import fire
 from repro.obs import Tracer
 from repro.serving import AsyncDSEServer, DynamicBatcher, ServingStats
 
@@ -60,6 +67,10 @@ SPEEDUP_TARGET = 3.0
 P99_LIMIT_S = 0.5
 SMOKE_P99_LIMIT_S = 5.0
 OBS_OVERHEAD_LIMIT = 0.03
+#: Hooks a single request could plausibly cross (admission, engine,
+#: per-shard dispatch...) — deliberately generous.
+FAULT_HOOKS_PER_REQUEST = 8
+FAULT_OVERHEAD_LIMIT = 0.01
 
 
 def _drive_clients(n_clients: int, requests_per_client: int, inputs,
@@ -358,6 +369,49 @@ def run_saturation(seed: int = 0) -> dict:
             and len(retry_after) == counts["429"] and bool(recovered)}
 
 
+def run_fault_overhead(iterations: int = 200_000, engine_reps: int = 300,
+                       seed: int = 0) -> dict:
+    """The robustness layer's "free when disarmed" promise (PR 9).
+
+    Times ``fire()`` with no registry armed — the steady-state of every
+    production process — then prices a request as
+    ``FAULT_HOOKS_PER_REQUEST`` disarmed probes against the bare
+    single-row engine p50.  The engine pass is the *floor* of any served
+    request (no HTTP, no batcher queueing), so overhead relative to it
+    upper-bounds the overhead on a real request.
+    """
+    if _active_faults() is not None:
+        raise RuntimeError("fault overhead must be measured disarmed; "
+                           "unset REPRO_FAULTS first")
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        fire("engine.transient_error")
+    per_call_s = (time.perf_counter() - begin) / iterations
+
+    problem = DSEProblem()
+    rng = np.random.default_rng(seed)
+    model = AirchitectV2(ModelConfig(), problem, rng)
+    reference = DSEPredictor(model)
+    row = problem.sample_inputs(1, rng)
+    reference.predict_indices(row)                  # warm-up (lazy allocs)
+    samples = []
+    for _ in range(engine_reps):
+        begin = time.perf_counter()
+        reference.predict_indices(row)
+        samples.append(time.perf_counter() - begin)
+    engine_p50_s = float(np.median(samples))
+
+    per_request_s = per_call_s * FAULT_HOOKS_PER_REQUEST
+    overhead = per_request_s / max(engine_p50_s, 1e-12)
+    return {"iterations": iterations,
+            "disarmed_fire_ns": per_call_s * 1e9,
+            "hooks_per_request": FAULT_HOOKS_PER_REQUEST,
+            "engine_p50_us": engine_p50_s * 1e6,
+            "fault_overhead": overhead,
+            "fault_overhead_limit": FAULT_OVERHEAD_LIMIT,
+            "fault_overhead_ok": overhead <= FAULT_OVERHEAD_LIMIT}
+
+
 def run_smoke() -> dict:
     """Seconds-long CI configuration: asserts direction, not magnitude."""
     result = run_bench(clients=8, requests_per_client=12)
@@ -369,6 +423,7 @@ def run_smoke() -> dict:
     result["observability"] = run_obs_overhead(clients=8,
                                                requests_per_client=12,
                                                rounds=2)
+    result["faults"] = run_fault_overhead(iterations=50_000, engine_reps=100)
     return result
 
 
@@ -405,6 +460,14 @@ def test_tracing_overhead_within_gate():
     print(json.dumps(result, indent=2))
     assert result["spans_recorded"] > 0
     assert result["overhead_ok"]
+
+
+@pytest.mark.slow
+def test_disarmed_fault_hooks_within_gate():
+    """Disarmed fault probes cost <= 1% of a bare engine pass."""
+    result = run_fault_overhead()
+    print(json.dumps(result, indent=2))
+    assert result["fault_overhead_ok"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -448,6 +511,7 @@ def main(argv: list[str] | None = None) -> int:
             requests_per_client=args.requests_per_client,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms, seed=args.seed)
+        result["faults"] = run_fault_overhead(seed=args.seed)
     text = json.dumps(result, indent=2)
     print(text)
     if args.output:
@@ -484,6 +548,13 @@ def main(argv: list[str] | None = None) -> int:
     if not obs["overhead_ok"]:
         print(f"FAIL: tracing overhead {obs['obs_overhead'] * 100:.2f}% "
               f"exceeds the {obs['overhead_limit'] * 100:.0f}% gate",
+              file=sys.stderr)
+        failed = True
+    fault = result["faults"]
+    if not fault["fault_overhead_ok"]:
+        print(f"FAIL: disarmed fault hooks cost "
+              f"{fault['fault_overhead'] * 100:.3f}% of an engine pass, "
+              f"over the {fault['fault_overhead_limit'] * 100:.0f}% gate",
               file=sys.stderr)
         failed = True
     return 1 if failed else 0

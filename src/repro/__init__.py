@@ -26,9 +26,9 @@ See README.md and DESIGN.md for the architecture and experiment index.
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, dse, maestro, nn, registry, scalesim
-from . import search, train, uov, workloads
+from . import analysis, baselines, core, dse, faults, maestro, nn, registry
+from . import scalesim, search, train, uov, workloads
 
-__all__ = ["analysis", "baselines", "core", "dse", "maestro", "nn",
+__all__ = ["analysis", "baselines", "core", "dse", "faults", "maestro", "nn",
            "registry", "scalesim", "search", "train", "uov", "workloads",
            "__version__"]

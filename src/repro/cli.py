@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 
@@ -514,6 +515,21 @@ def serve_main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="per-request timeout; slower requests answer "
                              "HTTP 504 (default 60)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        metavar="N",
+                        help="open a route's circuit breaker (HTTP 503 + "
+                             "Retry-After) after N consecutive engine "
+                             "failures; 0 disables the breaker (default 5)")
+    parser.add_argument("--breaker-reset", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="how long an open breaker sheds load before "
+                             "admitting a half-open probe (default 30)")
+    parser.add_argument("--shard-timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="per-shard deadline for --sweep-workers pools; "
+                             "a lost or hung worker costs one timeout, then "
+                             "its shards retry on a rebuilt pool "
+                             "(default 120)")
     parser.add_argument("--log-requests", action="store_true",
                         help="log every HTTP request to stderr")
     parser.add_argument("--trace-file", metavar="FILE", default=None,
@@ -532,6 +548,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--max-queue must be >= 1")
     if args.request_timeout <= 0:
         parser.error("--request-timeout must be > 0")
+    if args.breaker_threshold < 0:
+        parser.error("--breaker-threshold must be >= 0")
+    if args.breaker_reset <= 0:
+        parser.error("--breaker-reset must be > 0")
+    if args.shard_timeout <= 0:
+        parser.error("--shard-timeout must be > 0")
     _check_model_args(parser, args, require_model_id=False)
 
     problem = get_problem()
@@ -552,6 +574,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                   sweep_workers=args.sweep_workers,
                   max_queue=args.max_queue,
                   request_timeout_s=args.request_timeout,
+                  breaker_threshold=args.breaker_threshold or None,
+                  breaker_reset_s=args.breaker_reset,
+                  shard_timeout_s=args.shard_timeout,
                   log_requests=args.log_requests,
                   trace_file=args.trace_file)
     server_cls = DSEServer
@@ -578,11 +603,24 @@ def serve_main(argv: list[str] | None = None) -> int:
         return 2
     host, port = server.address
     front_end = "asyncio" if args.use_async else "threaded"
-    print(f"serving one-shot DSE predictions on http://{host}:{port} "
-          f"({front_end} front-end, max_batch_size={args.max_batch_size}, "
-          f"max_wait_ms={args.max_wait_ms:g}); Ctrl-C to stop",
-          file=sys.stderr)
+    # Orchestrators stop containers with SIGTERM; route it through the
+    # same graceful-drain path as Ctrl-C so in-flight requests finish
+    # and the oracle cache still snapshots.  Installed before the ready
+    # banner so a supervisor reacting to the banner can't race us.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
     try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):       # non-main thread / odd platform
+        pass
+    try:
+        # The ready banner lives inside the drain guard: a SIGTERM sent
+        # the instant it appears must still take the graceful path.
+        print(f"serving one-shot DSE predictions on http://{host}:{port} "
+              f"({front_end} front-end, max_batch_size={args.max_batch_size}, "
+              f"max_wait_ms={args.max_wait_ms:g}); Ctrl-C to stop",
+              file=sys.stderr)
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)

@@ -1,0 +1,109 @@
+"""Per-route circuit breaker for the serving layer.
+
+Classic three-state machine:
+
+* **closed** — requests flow; consecutive engine failures are counted.
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  every request is refused (the server answers 503 + ``Retry-After``)
+  until ``reset_timeout_s`` has elapsed.
+* **half-open** — after the timeout, exactly *one* probe request is let
+  through; success closes the breaker, failure re-opens it.
+
+Only *engine* outcomes move the state machine: client errors (400/404/
+429) are recorded as *neutral* — they release a half-open probe slot
+without counting for or against the engine, so a stream of bad requests
+can neither trip nor heal a breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Prometheus encoding of the state, published as ``repro_breaker_state``.
+STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0, *,
+                 clock=time.monotonic, on_transition=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opens = 0          # lifetime trip count (tests/metrics)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        if state == "open":
+            self._opened_at = self._clock()
+            self.opens += 1
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  In half-open state only one
+        probe is admitted at a time; callers that got True MUST report an
+        outcome (success/failure/neutral) to release the slot."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._transition("half_open")
+                self._probe_in_flight = True
+                return True
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            if self._state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == "half_open":
+                self._transition("open")
+                return
+            self._failures += 1
+            if self._state == "closed" \
+                    and self._failures >= self.failure_threshold:
+                self._transition("open")
+
+    def record_neutral(self) -> None:
+        """Client-error outcome: releases a half-open probe slot without
+        moving the state machine."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next half-open probe would be admitted."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            remaining = self.reset_timeout_s \
+                - (self._clock() - self._opened_at)
+            return max(remaining, 0.0)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self._state]

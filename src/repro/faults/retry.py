@@ -1,0 +1,27 @@
+"""Capped exponential backoff policy for pool rebuilds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a :class:`~repro.faults.PoolSupervisor` fights to keep a
+    process pool alive before degrading to in-process execution.
+
+    ``max_rebuilds`` pool rebuilds are attempted (so up to
+    ``max_rebuilds + 1`` pool generations run), each preceded by a
+    ``backoff_base_s * backoff_factor**attempt`` sleep capped at
+    ``backoff_max_s``.
+    """
+
+    max_rebuilds: int = 2
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before rebuild number ``attempt`` (0-based)."""
+        return min(self.backoff_base_s * self.backoff_factor ** attempt,
+                   self.backoff_max_s)

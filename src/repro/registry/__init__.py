@@ -12,12 +12,14 @@ by every ``.npz`` producer in the repo.
 
 from .registry import (ModelArtifact, ModelRegistry, RegistryError,
                        model_kind, register_builder)
-from .storage import (MANIFEST_KEY, atomic_savez, read_manifest, read_state,
-                      write_artifact)
+from .storage import (CHECKSUM_KEY, MANIFEST_KEY, CorruptArtifactError,
+                      atomic_savez, quarantine_artifact, read_manifest,
+                      read_state, read_verified, write_artifact)
 
 __all__ = [
     "ModelArtifact", "ModelRegistry", "RegistryError",
     "model_kind", "register_builder",
-    "MANIFEST_KEY", "atomic_savez", "read_manifest", "read_state",
-    "write_artifact",
+    "MANIFEST_KEY", "CHECKSUM_KEY", "CorruptArtifactError",
+    "atomic_savez", "quarantine_artifact", "read_manifest", "read_state",
+    "read_verified", "write_artifact",
 ]

@@ -34,8 +34,9 @@ from typing import Callable
 
 import numpy as np
 
-from .storage import (MANIFEST_KEY, normalise_npz_path, read_manifest,
-                      read_state, write_artifact)
+from ..obs import get_logger
+from .storage import (MANIFEST_KEY, CorruptArtifactError, normalise_npz_path,
+                      read_manifest, read_state, write_artifact)
 
 __all__ = ["ModelArtifact", "ModelRegistry", "RegistryError",
            "register_builder", "model_kind"]
@@ -195,12 +196,20 @@ class ModelRegistry:
         return self.has(model_id)
 
     def artifact(self, model_id: str) -> ModelArtifact:
-        """Resolve one id (legacy archives allowed); raises when absent."""
+        """Resolve one id (legacy archives allowed); raises when absent
+        or corrupt (the damaged file is quarantined first, so the same id
+        resolves to "absent" on the next call instead of failing again).
+        """
         path = self.path_for(model_id)
         if not path.is_file():
             raise RegistryError(f"no artifact {model_id!r} in {self.root}")
-        return ModelArtifact(model_id=model_id, path=path,
-                             manifest=read_manifest(path))
+        try:
+            manifest = read_manifest(path)
+        except CorruptArtifactError as exc:
+            self.invalidate(model_id)
+            raise RegistryError(f"artifact {model_id!r} is corrupt and was "
+                                f"quarantined: {exc}") from exc
+        return ModelArtifact(model_id=model_id, path=path, manifest=manifest)
 
     def list(self) -> list[ModelArtifact]:
         """Every *manifested* artifact under the root, sorted by id.
@@ -214,6 +223,12 @@ class ModelRegistry:
         for path in sorted(self.root.rglob("*.npz")):
             try:
                 manifest = read_manifest(path)
+            except CorruptArtifactError as exc:
+                # read_manifest already renamed the file to .corrupt, so
+                # discovery will not trip on it again.
+                get_logger("registry").warning("skipping corrupt artifact: "
+                                               "%s", exc)
+                continue
             except (OSError, ValueError, zipfile.BadZipFile,
                     json.JSONDecodeError):  # unreadable/foreign archive
                 continue
@@ -290,7 +305,12 @@ class ModelRegistry:
             from ..dse import DSEProblem
             problem = DSEProblem()
         model = builder(artifact.manifest, problem)
-        model.load_state_dict(artifact.load_state())
+        try:
+            model.load_state_dict(artifact.load_state())
+        except CorruptArtifactError as exc:
+            self.invalidate(model_id)
+            raise RegistryError(f"artifact {model_id!r} is corrupt and was "
+                                f"quarantined: {exc}") from exc
         model.eval()
         return model
 

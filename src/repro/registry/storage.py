@@ -1,4 +1,5 @@
-"""Atomic ``.npz`` artifact I/O shared by every persistence layer.
+"""Atomic, corruption-safe ``.npz`` artifact I/O shared by every
+persistence layer.
 
 All writers in the repo — model artifacts, ``save_module``, training
 checkpoints, the persistent oracle cache — funnel through
@@ -7,32 +8,83 @@ destination and ``os.replace``-d into place, so an interrupt mid-save
 (Ctrl-C, OOM kill, disk full) leaves the previous file intact instead of
 a torn archive.
 
+Atomicity protects against interrupts, not against bit rot, partial
+copies, or a kernel that never flushed the page cache before power loss.
+So every archive also embeds a **content checksum** under the reserved
+:data:`CHECKSUM_KEY`: a SHA-256 digest over the sorted
+``(name, dtype, shape, bytes)`` of every other member.  Verified readers
+(:func:`read_verified`, and :func:`read_state` / :func:`read_manifest`
+on top of it) detect both torn archives (zip/zlib errors) and silent
+corruption (digest mismatch), **quarantine** the damaged file by
+renaming it to ``<path>.corrupt``, and raise
+:class:`CorruptArtifactError` — so loaders fail with one typed,
+actionable error instead of a raw ``zipfile.BadZipFile`` traceback, and
+the damaged file can never be half-loaded twice.
+
 A *model artifact* is one such archive holding a module's ``state_dict``
 arrays plus a JSON manifest under the reserved :data:`MANIFEST_KEY`
 (config, scale, training fingerprint, metrics — see
 :mod:`repro.registry.registry`).  Plain state-only archives written by
-older code have no manifest key; :func:`read_manifest` returns ``None``
-for them and :func:`read_state` serves them unchanged, so pre-registry
+older code have neither reserved key; :func:`read_manifest` returns
+``None`` for them, checksum verification is skipped (nothing to verify
+against), and :func:`read_state` serves them unchanged, so pre-registry
 ``.npz`` files keep loading bit-identically.
 
-This module deliberately imports nothing from ``repro`` so the low-level
-``repro.nn`` stack can depend on it without cycles.
+Besides :mod:`repro.faults` (the ``storage.torn_write`` injection point
+and nothing else), this module deliberately imports nothing from
+``repro`` so the low-level ``repro.nn`` stack can depend on it without
+cycles.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from pathlib import Path
+import zipfile
+import zlib
 
 import numpy as np
 
-__all__ = ["MANIFEST_KEY", "atomic_savez", "write_artifact", "read_manifest",
-           "read_state", "normalise_npz_path"]
+from ..faults import fire
 
-# Reserved archive key; never a valid dotted parameter name (parameters
+__all__ = ["MANIFEST_KEY", "CHECKSUM_KEY", "RESERVED_KEYS",
+           "CorruptArtifactError", "atomic_savez", "write_artifact",
+           "read_manifest", "read_state", "read_verified",
+           "quarantine_artifact", "normalise_npz_path"]
+
+# Reserved archive keys; never valid dotted parameter names (parameters
 # come from attribute names, which cannot start with "_"-"_" doubles).
 MANIFEST_KEY = "__manifest__"
+CHECKSUM_KEY = "__checksum__"
+RESERVED_KEYS = frozenset({MANIFEST_KEY, CHECKSUM_KEY})
+
+# What a torn/garbled archive surfaces as from np.load: truncated or
+# overwritten zip structure (BadZipFile), a member that fails inflation
+# (zlib.error, EOFError), a mangled .npy header (ValueError), a missing
+# member directory entry (KeyError), or short reads (OSError).
+_CORRUPTION_ERRORS = (zipfile.BadZipFile, zlib.error, EOFError, KeyError,
+                      ValueError, OSError)
+
+
+class CorruptArtifactError(ValueError):
+    """An archive failed to load or failed checksum verification.
+
+    ``quarantined_to`` is the ``.corrupt`` path the damaged file was
+    renamed to (None when the rename itself failed or was disabled).
+    Subclasses ``ValueError`` so pre-existing broad handlers keep
+    working.
+    """
+
+    def __init__(self, path: str, reason: str,
+                 quarantined_to: str | None = None):
+        self.path = str(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        message = f"{self.path}: {reason}"
+        if quarantined_to:
+            message += f" (quarantined to {quarantined_to})"
+        super().__init__(message)
 
 
 def normalise_npz_path(path: str | os.PathLike) -> str:
@@ -43,6 +95,31 @@ def normalise_npz_path(path: str | os.PathLike) -> str:
     return path
 
 
+def content_digest(arrays: dict) -> str:
+    """SHA-256 over the sorted (name, dtype, shape, bytes) of ``arrays``."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.asarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+def quarantine_artifact(path: str | os.PathLike,
+                        suffix: str = ".corrupt") -> str | None:
+    """Rename a damaged archive out of the loaders' way; returns the new
+    path, or None when the rename failed (e.g. the file vanished)."""
+    path = str(path)
+    target = path + suffix
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
 def atomic_savez(path: str | os.PathLike, arrays: dict) -> str:
     """Write ``arrays`` as an ``.npz`` archive atomically; returns the path.
 
@@ -50,21 +127,32 @@ def atomic_savez(path: str | os.PathLike, arrays: dict) -> str:
     (same filesystem, so the final ``os.replace`` is atomic) and is
     renamed into place only once fully written.  Parent directories are
     created on demand.  On any failure the destination is untouched and
-    the temp file is removed.
+    the temp file is removed.  A content checksum over every member is
+    embedded under :data:`CHECKSUM_KEY` for the verified readers.
     """
     path = normalise_npz_path(path)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
+    payload = dict(arrays)
+    if CHECKSUM_KEY not in payload:
+        payload[CHECKSUM_KEY] = np.array(content_digest(payload))
     # The temp name keeps the .npz suffix so np.savez does not append a
     # second one, and embeds the pid so concurrent writers never collide.
     tmp = f"{path}.tmp{os.getpid()}.npz"
     try:
-        np.savez(tmp, **arrays)
+        np.savez(tmp, **payload)
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):  # pragma: no cover - error-path cleanup
             os.unlink(tmp)
+    hit = fire("storage.torn_write")
+    if hit is not None:
+        # Simulate the kill/power-cut that atomicity cannot cover: the
+        # replace happened but the bytes on disk are torn.
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, int(os.path.getsize(path)
+                                   * float(hit.get("keep_fraction", 0.5)))))
     return path
 
 
@@ -77,20 +165,75 @@ def write_artifact(path: str | os.PathLike, state: dict,
     return atomic_savez(path, arrays)
 
 
+def read_verified(path: str | os.PathLike, *,
+                  quarantine: bool = True) -> dict[str, np.ndarray]:
+    """Load *every* member eagerly and verify the embedded checksum.
+
+    Eager loading matters: ``np.load`` inflates members lazily, so a
+    lazy reader would let corruption escape as a ``zlib.error`` deep in
+    caller code *after* state application had begun.  Reading everything
+    up front means corruption is detected before a single byte reaches
+    the caller.
+
+    Archives written before the checksum existed (no :data:`CHECKSUM_KEY`
+    member) load unchanged — there is nothing to verify against.
+
+    Raises :class:`CorruptArtifactError` (renaming the file to
+    ``<path>.corrupt`` first, unless ``quarantine=False``) on any
+    load failure or digest mismatch; ``FileNotFoundError`` passes
+    through untouched.
+    """
+    path = normalise_npz_path(path)
+    try:
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        target = quarantine_artifact(path) if quarantine else None
+        raise CorruptArtifactError(
+            path, f"unreadable archive ({type(exc).__name__}: {exc})",
+            target) from exc
+    stored = arrays.get(CHECKSUM_KEY)
+    if stored is not None:
+        expected = str(stored[()]) if stored.shape == () else str(stored)
+        actual = content_digest({key: value for key, value in arrays.items()
+                                 if key != CHECKSUM_KEY})
+        if actual != expected:
+            target = quarantine_artifact(path) if quarantine else None
+            raise CorruptArtifactError(
+                path, f"content checksum mismatch (stored "
+                f"{expected[:12]}.., computed {actual[:12]}..)", target)
+    return arrays
+
+
 def read_manifest(path: str | os.PathLike) -> dict | None:
     """The embedded JSON manifest, or ``None`` for plain legacy archives.
 
     Only the manifest entry is decompressed — ``np.load`` reads archive
-    members lazily, so discovery over a large registry stays cheap.
+    members lazily, so discovery over a large registry stays cheap; the
+    full checksum pass is deferred to :func:`read_state` at load time.
+    Corrupt archives are quarantined and raise
+    :class:`CorruptArtifactError`.
     """
-    with np.load(normalise_npz_path(path)) as archive:
-        if MANIFEST_KEY not in archive.files:
-            return None
-        return json.loads(str(archive[MANIFEST_KEY][()]))
+    path = normalise_npz_path(path)
+    try:
+        with np.load(path) as archive:
+            if MANIFEST_KEY not in archive.files:
+                return None
+            return json.loads(str(archive[MANIFEST_KEY][()]))
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, *_CORRUPTION_ERRORS) as exc:
+        target = quarantine_artifact(path)
+        raise CorruptArtifactError(
+            path, f"unreadable manifest ({type(exc).__name__}: {exc})",
+            target) from exc
 
 
 def read_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
-    """All state arrays from an artifact, manifest key stripped."""
-    with np.load(normalise_npz_path(path)) as archive:
-        return {key: archive[key] for key in archive.files
-                if key != MANIFEST_KEY}
+    """All state arrays from a checksum-verified artifact, reserved keys
+    stripped.  Raises :class:`CorruptArtifactError` (after quarantining
+    the file) instead of leaking zip/zlib internals."""
+    return {key: value for key, value in read_verified(path).items()
+            if key not in RESERVED_KEYS}

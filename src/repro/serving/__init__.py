@@ -31,7 +31,8 @@ CLI entry point.
 
 from .async_server import AsyncDSEServer
 from .batcher import DynamicBatcher, RequestQueue, ServedPrediction
-from .cache import PersistentOracleCache, StaleCacheWarning
+from .cache import (CorruptCacheWarning, PersistentOracleCache,
+                    StaleCacheWarning)
 from .server import DSEServer, ModelRoute
 from .sharded import AutoscaleDecision, AutoscalePolicy, ShardedSweepExecutor
 from .stats import LatencyHistogram, ServingStats
@@ -39,7 +40,7 @@ from .stats import LatencyHistogram, ServingStats
 __all__ = [
     "DynamicBatcher", "RequestQueue", "ServedPrediction",
     "ShardedSweepExecutor", "AutoscalePolicy", "AutoscaleDecision",
-    "PersistentOracleCache", "StaleCacheWarning",
+    "PersistentOracleCache", "StaleCacheWarning", "CorruptCacheWarning",
     "DSEServer", "AsyncDSEServer", "ModelRoute",
     "ServingStats", "LatencyHistogram",
 ]

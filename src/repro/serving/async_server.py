@@ -38,7 +38,8 @@ from email.utils import formatdate
 from http import HTTPStatus
 
 from .server import (_MAX_BODY_BYTES, _METRICS_CONTENT_TYPE, DSEServer,
-                     _Backpressure, _BadRequest, _NotFound, _RequestTimeout)
+                     _Backpressure, _BadRequest, _NotFound, _RequestTimeout,
+                     _ServiceUnavailable)
 
 __all__ = ["AsyncDSEServer"]
 
@@ -350,6 +351,10 @@ class AsyncDSEServer(DSEServer):
         except _Backpressure as exc:
             return await self._send(
                 writer, 429, {"error": str(exc)},
+                [("Retry-After", exc.retry_after_header)] + trace_headers)
+        except _ServiceUnavailable as exc:
+            return await self._send(
+                writer, 503, {"error": str(exc)},
                 [("Retry-After", exc.retry_after_header)] + trace_headers)
         except _RequestTimeout as exc:
             self.record_error()

@@ -8,6 +8,13 @@ space, metric, tolerance, cost-model technology).  A fresh process with
 an equivalent oracle warm-starts from the snapshot; a process whose
 labelling function differs refuses the load with a warning — stale labels
 are worse than cold ones.
+
+A snapshot is a *cache*: losing one costs recomputation, never
+correctness.  So every unusable snapshot — stale fingerprint, torn
+archive, checksum mismatch, mangled metadata — takes the same logged
+skip-and-quarantine path: warn, rename the file out of the way
+(``.stale`` / ``.corrupt``), and return 0 so the serving path starts
+cold instead of crashing.
 """
 
 from __future__ import annotations
@@ -21,15 +28,21 @@ from pathlib import Path
 import numpy as np
 
 from ..dse import ExhaustiveOracle
-from ..registry.storage import atomic_savez
+from ..registry.storage import (CorruptArtifactError, atomic_savez,
+                                quarantine_artifact, read_verified)
 
-__all__ = ["PersistentOracleCache", "StaleCacheWarning"]
+__all__ = ["PersistentOracleCache", "StaleCacheWarning",
+           "CorruptCacheWarning"]
 
 _FORMAT_VERSION = 1
 
 
 class StaleCacheWarning(UserWarning):
     """A snapshot was rejected because its labelling fingerprint differs."""
+
+
+class CorruptCacheWarning(UserWarning):
+    """A snapshot was rejected because the file is torn or bit-rotted."""
 
 
 class PersistentOracleCache:
@@ -72,36 +85,67 @@ class PersistentOracleCache:
         return meta["entries"]
 
     def read_meta(self) -> dict | None:
-        """Snapshot metadata, or ``None`` when no snapshot exists."""
+        """Snapshot metadata, or ``None`` when no (readable) snapshot
+        exists — a corrupt snapshot is quarantined with a warning."""
         if not self.exists():
             return None
-        with np.load(self.path) as archive:
-            return json.loads(archive["meta"].tobytes().decode())
+        try:
+            arrays = read_verified(self.path)
+            return json.loads(arrays["meta"].tobytes().decode())
+        except (CorruptArtifactError, KeyError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            self._skip_corrupt(exc)
+            return None
+
+    def _skip_corrupt(self, exc: Exception) -> None:
+        """The unified skip path for unreadable snapshots: quarantine
+        (unless the verified reader already did) + warn + carry on cold."""
+        quarantined = getattr(exc, "quarantined_to", None)
+        if quarantined is None and self.exists():
+            quarantined = quarantine_artifact(str(self.path))
+        warnings.warn(
+            f"oracle cache {self.path} is corrupt "
+            f"({type(exc).__name__}: {exc}); starting cold"
+            + (f" (snapshot quarantined to {quarantined})" if quarantined
+               else ""),
+            CorruptCacheWarning, stacklevel=3)
 
     def load(self, oracle: ExhaustiveOracle) -> int:
         """Warm the oracle from the snapshot; returns resident entries.
 
-        Returns 0 when no snapshot exists.  When the snapshot's labelling
-        fingerprint does not match the oracle's, the load is refused: a
-        :class:`StaleCacheWarning` is emitted and 0 returned (the cache
-        is left untouched).  The return value is the oracle's cache size
-        after the import — smaller than the snapshot when the oracle's
-        ``cache_size`` truncates it.
+        Returns 0 when no snapshot exists — and likewise, with a logged
+        skip, for every *unusable* one: a stale labelling fingerprint or
+        format sets the snapshot aside as ``<path>.stale`` with a
+        :class:`StaleCacheWarning`; a torn/bit-rotted file is
+        quarantined as ``<path>.corrupt`` with a
+        :class:`CorruptCacheWarning`.  Either way serving starts cold
+        instead of crashing or silently re-tripping on the same file.
+        The return value is the oracle's cache size after the import —
+        smaller than the snapshot when the oracle's ``cache_size``
+        truncates it.
         """
         if not self.exists():
             return 0
-        with np.load(self.path) as archive:
-            meta = json.loads(archive["meta"].tobytes().decode())
-            expected = oracle.labelling_fingerprint()
-            if meta.get("fingerprint") != expected or \
-                    meta.get("format_version") != _FORMAT_VERSION:
-                warnings.warn(
-                    f"oracle cache {self.path} was labelled under a "
-                    f"different problem/tolerance/cost-model fingerprint "
-                    f"({meta.get('fingerprint', '?')[:12]}... != "
-                    f"{expected[:12]}...); refusing stale load",
-                    StaleCacheWarning, stacklevel=2)
-                return 0
-            return oracle.import_cache(archive["keys"], archive["pe_idx"],
-                                       archive["l2_idx"],
-                                       archive["best_cost"])
+        try:
+            arrays = read_verified(self.path)
+            meta = json.loads(arrays["meta"].tobytes().decode())
+            keys, pe_idx = arrays["keys"], arrays["pe_idx"]
+            l2_idx, best = arrays["l2_idx"], arrays["best_cost"]
+        except (CorruptArtifactError, KeyError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            self._skip_corrupt(exc)
+            return 0
+        expected = oracle.labelling_fingerprint()
+        if meta.get("fingerprint") != expected or \
+                meta.get("format_version") != _FORMAT_VERSION:
+            set_aside = quarantine_artifact(str(self.path), suffix=".stale")
+            warnings.warn(
+                f"oracle cache {self.path} was labelled under a "
+                f"different problem/tolerance/cost-model fingerprint "
+                f"({str(meta.get('fingerprint', '?'))[:12]}... != "
+                f"{expected[:12]}...); refusing stale load"
+                + (f" (snapshot set aside as {set_aside})" if set_aside
+                   else ""),
+                StaleCacheWarning, stacklevel=2)
+            return 0
+        return oracle.import_cache(keys, pe_idx, l2_idx, best)

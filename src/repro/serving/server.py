@@ -60,6 +60,12 @@ and, with a sink configured, an NDJSON file.
 
 All error responses are JSON: unknown routes and unknown models are
 ``404``, malformed or non-dict bodies are ``400`` — never a traceback.
+Each route also carries a :class:`~repro.faults.CircuitBreaker` over its
+*engine* outcomes: after ``breaker_threshold`` consecutive engine
+failures the route answers ``503`` with a ``Retry-After`` header until a
+half-open probe succeeds.  Client errors (400/404/429) are neutral —
+they can neither trip nor heal a breaker.  ``repro_breaker_state``
+(0=closed, 1=half-open, 2=open) is scrapeable per model.
 """
 
 from __future__ import annotations
@@ -75,6 +81,9 @@ import numpy as np
 
 from ..core import AirchitectV2, BatchedDSEPredictor
 from ..dse import ExhaustiveOracle
+from ..faults import CircuitBreaker, TransientEngineError
+from ..faults import active as _active_faults
+from ..faults import fire
 from ..obs import MetricsRegistry, SpanContext, Tracer, get_logger
 from ..registry import ModelRegistry, RegistryError
 from .batcher import DynamicBatcher
@@ -110,6 +119,22 @@ class _Backpressure(Exception):
         super().__init__(
             f"route {route_name!r} admission queue is full "
             f"(max_queue={max_queue}); retry after {retry_after_s:g}s")
+
+    @property
+    def retry_after_header(self) -> str:
+        return str(max(1, -(-int(self.retry_after_s * 1000) // 1000)))
+
+
+class _ServiceUnavailable(Exception):
+    """A route's circuit breaker is open: HTTP 503 + Retry-After."""
+
+    def __init__(self, route_name: str, retry_after_s: float):
+        self.route_name = route_name
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"route {route_name!r} is shedding load after repeated engine "
+            f"failures (circuit breaker open); retry after "
+            f"{retry_after_s:g}s")
 
     @property
     def retry_after_header(self) -> str:
@@ -168,6 +193,9 @@ class ModelRoute:
                  micro_batch_size: int, source: str = "direct",
                  sweep_workers: int | None = None,
                  max_queue: int | None = None,
+                 breaker_threshold: int | None = 5,
+                 breaker_reset_s: float = 30.0,
+                 shard_timeout_s: float | None = 120.0,
                  registry: MetricsRegistry | None = None):
         self.name = name
         self.model = model
@@ -175,11 +203,16 @@ class ModelRoute:
         self.source = source
         self.sweep_workers = sweep_workers
         self.max_queue = max_queue
+        self.shard_timeout_s = shard_timeout_s
         self._inflight = 0
         self._admission_lock = threading.Lock()
         self.registry = registry
         self.stats = ServingStats(registry=registry,
                                   labels={"model": name})
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout_s=breaker_reset_s) \
+            if breaker_threshold is not None else None
         if registry is not None:
             # Lazy gauge: the scrape reads the admission counter directly,
             # so in-flight tracking costs the hot path nothing extra.
@@ -187,6 +220,13 @@ class ModelRoute:
                            "Requests admitted and not yet answered.",
                            ("model",)).labels(model=name) \
                 .set_function(lambda: self.inflight)
+            if self.breaker is not None:
+                registry.gauge(
+                    "repro_breaker_state",
+                    "Circuit breaker state per route "
+                    "(0=closed, 1=half-open, 2=open).",
+                    ("model",)).labels(model=name) \
+                    .set_function(lambda: float(self.breaker.state_code))
         self.last_served = time.time()
         self.engine = BatchedDSEPredictor(
             model, micro_batch_size=micro_batch_size,
@@ -209,7 +249,8 @@ class ModelRoute:
             if self._executor is None:
                 self._executor = ShardedSweepExecutor(
                     self.model, num_workers=self.sweep_workers,
-                    autoscale=True, registry=self.registry,
+                    autoscale=True, shard_timeout_s=self.shard_timeout_s,
+                    registry=self.registry,
                     labels={"model": self.name})
             return self._executor
 
@@ -249,17 +290,26 @@ class ModelRoute:
                 self._executor.close()
                 self._executor = None
         if self.registry is not None:
-            # Drop the lazy gauge so an evicted route's scrape callback
+            # Drop the lazy gauges so an evicted route's scrape callbacks
             # cannot outlive the route (counters stay: they are history).
             self.registry.gauge("repro_inflight_requests",
                                 "Requests admitted and not yet answered.",
                                 ("model",)).remove(model=self.name)
+            if self.breaker is not None:
+                self.registry.gauge(
+                    "repro_breaker_state",
+                    "Circuit breaker state per route "
+                    "(0=closed, 1=half-open, 2=open).",
+                    ("model",)).remove(model=self.name)
 
     def stats_snapshot(self) -> dict:
         doc = self.stats.snapshot()
         doc["source"] = self.source
         doc["inflight"] = self.inflight
         doc["max_queue"] = self.max_queue
+        if self.breaker is not None:
+            doc["breaker"] = {"state": self.breaker.state,
+                              "opens": self.breaker.opens}
         if self._executor is not None:
             doc["autoscale"] = list(self._executor.decision_trace)
         return doc
@@ -364,6 +414,10 @@ class _ServingHandler(BaseHTTPRequestHandler):
             self._send_json(429, {"error": str(exc)},
                             extra_headers=[("Retry-After",
                                             exc.retry_after_header)])
+        except _ServiceUnavailable as exc:
+            self._send_json(503, {"error": str(exc)},
+                            extra_headers=[("Retry-After",
+                                            exc.retry_after_header)])
         except _RequestTimeout as exc:
             dse.record_error()
             self._send_json(504, {"error": str(exc)})
@@ -426,6 +480,13 @@ class _ServingHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, dse: "DSEServer"):
         self.dse = dse
         super().__init__(address, _ServingHandler)
+        # ``BaseServer.shutdown`` blocks on an event that only the serve
+        # loop's ``finally`` sets.  If shutdown runs before the loop was
+        # ever entered (a SIGTERM can interrupt the CLI in that window)
+        # the wait would deadlock; pre-setting the event makes shutdown
+        # a no-op then.  ``serve_forever`` clears it on entry, restoring
+        # the normal handshake.
+        self._BaseServer__is_shut_down.set()
 
 
 class DSEServer:
@@ -474,6 +535,17 @@ class DSEServer:
     retry_after_s:
         The backoff hint sent with 429 responses (default 1s; the
         ``Retry-After`` header rounds it up to whole seconds).
+    breaker_threshold / breaker_reset_s:
+        Per-route circuit breaker: after ``breaker_threshold``
+        consecutive engine failures the route answers 503 (with
+        ``Retry-After``) for ``breaker_reset_s`` seconds, then admits a
+        single half-open probe.  ``breaker_threshold=None`` disables the
+        breaker entirely.
+    shard_timeout_s:
+        Per-shard result deadline for each route's sweep executor — a
+        lost or hung pool worker is declared dead after this long and
+        its shards retried on a rebuilt pool (see
+        :class:`~repro.faults.PoolSupervisor`).
     tracer:
         Optional pre-built :class:`~repro.obs.Tracer` shared with the
         embedding application; one is created per server otherwise.
@@ -498,6 +570,9 @@ class DSEServer:
                  sweep_workers: int | None = None,
                  max_queue: int | None = None,
                  retry_after_s: float = 1.0,
+                 breaker_threshold: int | None = 5,
+                 breaker_reset_s: float = 30.0,
+                 shard_timeout_s: float | None = 120.0,
                  tracer: Tracer | None = None,
                  trace_file: str | None = None,
                  enable_tracing: bool = True):
@@ -518,6 +593,9 @@ class DSEServer:
         self.sweep_workers = sweep_workers
         self.max_queue = max_queue
         self.retry_after_s = retry_after_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.shard_timeout_s = shard_timeout_s
         self._model_ids = list(model_ids) if model_ids is not None else None
         self.log = get_logger("serving.server")
         # One registry per server: every route's ServingStats publishes
@@ -535,6 +613,11 @@ class DSEServer:
         # Routing/transport-level failures (no route to blame them on).
         self._errors = ServingStats(registry=self.metrics,
                                     labels={"model": "_transport"})
+        armed = _active_faults()
+        if armed is not None:
+            # Surface the armed fault points (and their fire counts) on
+            # /metrics so chaos runs can observe injection from outside.
+            armed.attach_metrics(self.metrics)
         self.routes: dict[str, ModelRoute] = {}
         self._route_lock = threading.RLock()
         self._running = False
@@ -589,7 +672,11 @@ class DSEServer:
                            max_wait_ms=self.max_wait_ms,
                            micro_batch_size=self.micro_batch_size,
                            source=source, sweep_workers=self.sweep_workers,
-                           max_queue=self.max_queue, registry=self.metrics)
+                           max_queue=self.max_queue,
+                           breaker_threshold=self.breaker_threshold,
+                           breaker_reset_s=self.breaker_reset_s,
+                           shard_timeout_s=self.shard_timeout_s,
+                           registry=self.metrics)
         with self._route_lock:
             if name in self.routes:
                 raise ValueError(f"model {name!r} is already served")
@@ -648,7 +735,11 @@ class DSEServer:
                     max_wait_ms=self.max_wait_ms,
                     micro_batch_size=self.micro_batch_size,
                     source="registry", sweep_workers=self.sweep_workers,
-                    max_queue=self.max_queue, registry=self.metrics)
+                    max_queue=self.max_queue,
+                    breaker_threshold=self.breaker_threshold,
+                    breaker_reset_s=self.breaker_reset_s,
+                    shard_timeout_s=self.shard_timeout_s,
+                    registry=self.metrics)
                 self.routes[name] = route
                 if self._running:
                     route.start()
@@ -732,19 +823,43 @@ class DSEServer:
         rows = _parse_workloads(doc)
         is_dict = isinstance(doc, dict)
         route = self._route(doc.get("model") if is_dict else None)
-        if not route.try_admit():
-            raise _Backpressure(route.name, route.max_queue,
-                                self.retry_after_s)
-        start = time.perf_counter()
+        breaker = route.breaker
+        if breaker is not None and not breaker.allow():
+            raise _ServiceUnavailable(route.name, breaker.retry_after_s())
+        # From here on, every exit must report an outcome: a half-open
+        # breaker holds its single probe slot until one arrives.
         try:
-            return self._predict_admitted(route, rows,
-                                          doc if is_dict else {}, trace)
-        finally:
-            route.release()
-            route.stats.record_latency(time.perf_counter() - start)
+            if not route.try_admit():
+                raise _Backpressure(route.name, route.max_queue,
+                                    self.retry_after_s)
+            start = time.perf_counter()
+            try:
+                result = self._predict_admitted(route, rows,
+                                                doc if is_dict else {},
+                                                trace)
+            finally:
+                route.release()
+                route.stats.record_latency(time.perf_counter() - start)
+        except (_BadRequest, _NotFound, _Backpressure):
+            # Client errors are neutral: they release a probe slot but
+            # can neither trip nor heal the breaker.
+            if breaker is not None:
+                breaker.record_neutral()
+            raise
+        except BaseException:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
 
     def _predict_admitted(self, route: ModelRoute, rows, doc: dict,
                           trace: SpanContext | None = None) -> dict:
+        hit = fire("engine.transient_error")
+        if hit is not None:
+            raise TransientEngineError(
+                str(hit.get("message", "injected transient engine failure")))
         with_cost = bool(doc.get("with_cost"))
         with_oracle = bool(doc.get("with_oracle"))
         futures = []
@@ -833,8 +948,14 @@ class DSEServer:
             raise _BadRequest(f"'chunk_size' must be in 1..{_MAX_SWEEP_CHUNK}")
         with_cost = bool(doc.get("with_cost"))
         # Admit last, after every validation error had its chance to
-        # surface — a rejected body must not leak an admission slot.
+        # surface — a rejected body must not leak an admission slot (or
+        # claim a half-open breaker's probe slot).
+        breaker = route.breaker
+        if breaker is not None and not breaker.allow():
+            raise _ServiceUnavailable(route.name, breaker.retry_after_s())
         if not route.try_admit():
+            if breaker is not None:
+                breaker.record_neutral()
             raise _Backpressure(route.name, route.max_queue,
                                 self.retry_after_s)
         return self._released_after(
@@ -842,9 +963,24 @@ class DSEServer:
 
     @staticmethod
     def _released_after(route: ModelRoute, chunks):
-        """Hold the route's admission slot for the generator's lifetime."""
+        """Hold the route's admission slot (and breaker outcome) for the
+        generator's lifetime: completion is an engine success, a
+        mid-stream exception an engine failure, and a client hang-up
+        (generator closed early) neutral."""
+        breaker = route.breaker
         try:
             yield from chunks
+        except GeneratorExit:
+            if breaker is not None:
+                breaker.record_neutral()
+            raise
+        except BaseException:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        else:
+            if breaker is not None:
+                breaker.record_success()
         finally:
             route.release()
 

@@ -16,6 +16,13 @@ engine scales with *processes*, not threads.  The executor:
 * falls back to the single-process engine when ``num_workers <= 1``, the
   sweep is smaller than one shard, or the platform refuses to spawn a
   pool (sandboxes without ``fork``);
+* survives worker failure: shards run under a
+  :class:`~repro.faults.PoolSupervisor` with a per-shard timeout, so a
+  SIGKILLed or hung worker costs one timeout + a pool rebuild (capped
+  exponential backoff), the missing shards are re-dispatched, and after
+  repeated pool failure the remainder degrades to the in-process
+  engine — results bit-identical to the fault-free run either way,
+  because shards are pure functions of their rows reassembled by index;
 * with ``autoscale=True``, plans every sweep through an
   :class:`AutoscalePolicy`: worker count and shard size adapt to the
   sweep size and the observed per-worker throughput, and each plan is
@@ -51,6 +58,7 @@ import numpy as np
 
 from ..core import AirchitectV2, BatchedDSEPredictor, BatchPrediction
 from ..dse import ExhaustiveOracle
+from ..faults import PoolBrokenError, PoolSupervisor, RetryPolicy, fire
 from ..nn import load_module, save_module
 
 __all__ = ["ShardedSweepExecutor", "AutoscalePolicy", "AutoscaleDecision"]
@@ -76,15 +84,18 @@ def _init_worker(config, problem, state_path: str, micro_batch_size: int) -> Non
 
 def _run_shard(args: tuple[int, np.ndarray]) -> tuple[int, np.ndarray, np.ndarray]:
     shard_idx, inputs = args
+    hit = fire("pool.worker_crash")
+    if hit is not None:
+        os._exit(int(hit.get("exit_code", 47)))     # SIGKILL-equivalent
+    hit = fire("pool.shard_hang")
+    if hit is not None:
+        time.sleep(float(hit.get("hang_s", 3600.0)))
     pe_idx, l2_idx = _WORKER_ENGINE.predict_indices(inputs)
     return shard_idx, pe_idx, l2_idx
 
 
-def _shutdown(pool, state_dir) -> None:
-    """Tear down a pool + state dir (finalizer-safe: tolerates reruns)."""
-    if pool is not None:
-        pool.terminate()
-        pool.join()
+def _cleanup_dir(state_dir) -> None:
+    """Remove the model-state temp dir (finalizer-safe: tolerates reruns)."""
     if state_dir is not None and os.path.isdir(state_dir.name):
         state_dir.cleanup()
 
@@ -235,14 +246,27 @@ class ShardedSweepExecutor:
         names/values, e.g. ``{"model": ...}``) into which every
         autoscale decision is published: sweeps by execution mode,
         planned workers, and observed throughput — the scrapeable twin
-        of :attr:`decision_trace`.
+        of :attr:`decision_trace` — plus the supervisor's recovery
+        counters (``repro_retry_total``, ``repro_pool_rebuilds_total``,
+        ``repro_pool_degraded_total``).
+    shard_timeout_s:
+        Per-shard wall-clock budget; a shard with no result by then is
+        treated as lost (its worker was killed or hung) and re-dispatched
+        on a rebuilt pool.  ``None`` disables the timeout (a lost worker
+        then blocks forever — only for debugging).  Spurious timeouts are
+        safe: the retry recomputes the same rows bit-identically.
+    retry:
+        :class:`~repro.faults.RetryPolicy` governing pool rebuilds and
+        backoff before degrading to in-process execution.
     """
 
     def __init__(self, model: AirchitectV2, num_workers: int | None = None,
                  micro_batch_size: int = 1024, min_shard_size: int = 256,
                  mp_context: str | None = None, autoscale: bool = False,
                  policy: AutoscalePolicy | None = None,
-                 registry=None, labels: dict | None = None):
+                 registry=None, labels: dict | None = None,
+                 shard_timeout_s: float | None = 120.0,
+                 retry: RetryPolicy | None = None):
         if num_workers is None:
             num_workers = min(os.cpu_count() or 1, 8)
         self.model = model
@@ -285,24 +309,44 @@ class ShardedSweepExecutor:
             }
         self._fallback = BatchedDSEPredictor(model,
                                              micro_batch_size=micro_batch_size)
-        self._pool = None
         self._state_dir: tempfile.TemporaryDirectory | None = None
-        self._finalizer: weakref.finalize | None = None
+        self._state_finalizer: weakref.finalize | None = None
         self._default_oracle: ExhaustiveOracle | None = None
+        self._supervisor = PoolSupervisor(
+            self._make_pool, shard_timeout_s=shard_timeout_s, retry=retry,
+            name="sweep-pool", registry=registry,
+            labels={**self._metric_labels, "component": "sweep"}
+            if registry is not None else None)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self):
-        """Create the worker pool once; ``None`` means run single-process."""
-        if self._pool is not None or self.num_workers <= 1:
-            return self._pool
-        self._state_dir = tempfile.TemporaryDirectory(prefix="repro_shard_")
+    @property
+    def _pool(self):
+        """The supervisor's live pool (None when running single-process)."""
+        return self._supervisor.pool
+
+    def _make_pool(self):
+        """Pool factory for the supervisor; ``None`` = stay single-process.
+
+        Called again after every supervised teardown, so a rebuilt pool
+        reuses the already-saved model state."""
+        if self.num_workers <= 1:
+            return None
+        if self._state_dir is None:
+            self._state_dir = tempfile.TemporaryDirectory(
+                prefix="repro_shard_")
+            # Last-resort cleanup at GC/interpreter exit: an abandoned
+            # executor must not leak its state dir (the supervisor owns
+            # the matching hook for worker processes).
+            self._state_finalizer = weakref.finalize(self, _cleanup_dir,
+                                                     self._state_dir)
+            save_module(self.model,
+                        os.path.join(self._state_dir.name, "model.npz"))
         state_path = os.path.join(self._state_dir.name, "model.npz")
-        save_module(self.model, state_path)
         try:
             ctx = multiprocessing.get_context(self.mp_context)
-            self._pool = ctx.Pool(
+            return ctx.Pool(
                 self.num_workers, initializer=_init_worker,
                 initargs=(self.model.config, self.problem, state_path,
                           self.micro_batch_size))
@@ -311,23 +355,21 @@ class ShardedSweepExecutor:
                           f"pool ({exc}); falling back to single-process "
                           f"sweeps", RuntimeWarning, stacklevel=3)
             self.num_workers = 1
-            self._state_dir.cleanup()
-            self._state_dir = None
             return None
-        # Last-resort teardown at GC/interpreter exit: an abandoned
-        # executor must not leak worker processes or its state dir.
-        self._finalizer = weakref.finalize(self, _shutdown, self._pool,
-                                           self._state_dir)
-        return self._pool
+
+    def _ensure_pool(self):
+        """Create the worker pool once; ``None`` means run single-process."""
+        if self.num_workers <= 1:
+            return None
+        return self._supervisor.ensure()
 
     def close(self) -> None:
-        """Terminate the pool and remove the state dir; safe to re-call."""
-        if self._finalizer is not None:
-            self._finalizer()      # no-op if the finalizer already ran
-            self._finalizer = None
-        elif self._state_dir is not None:  # pool creation failed mid-way
-            _shutdown(None, self._state_dir)
-        self._pool = None
+        """Terminate the pool and remove the state dir; idempotent and
+        exception-safe even when the pool's workers have been killed."""
+        self._supervisor.close()
+        if self._state_finalizer is not None:
+            self._state_finalizer()    # no-op if the finalizer already ran
+            self._state_finalizer = None
         self._state_dir = None
 
     def __enter__(self) -> "ShardedSweepExecutor":
@@ -351,16 +393,27 @@ class ShardedSweepExecutor:
         return [(i, inputs[start:start + shard_size])
                 for i, start in enumerate(range(0, len(inputs), shard_size))]
 
-    def _run_pooled(self, pool, inputs: np.ndarray,
+    def _run_pooled(self, inputs: np.ndarray,
                     shard_size: int | None) -> tuple[np.ndarray, np.ndarray, int]:
-        """Map shards over the pool; returns (pe_idx, l2_idx, num_shards)."""
+        """Map shards over the supervised pool; returns
+        (pe_idx, l2_idx, num_shards).
+
+        Shards reassemble by index, so completion order is irrelevant;
+        shards the pool lost for good (worker churn outlasting the retry
+        policy) are recomputed in-process — same rows, same deterministic
+        forward pass, bit-identical output."""
         shards = self.shard(inputs, shard_size)
         pe_idx = np.empty(len(inputs), dtype=np.int64)
         l2_idx = np.empty(len(inputs), dtype=np.int64)
         offsets = np.cumsum([0] + [len(rows) for _, rows in shards])
-        # imap_unordered: shards reassemble by index, so completion order
-        # is irrelevant and the fastest workers never wait on the slowest.
-        for idx, pe, l2 in pool.imap_unordered(_run_shard, shards):
+        try:
+            results = self._supervisor.run(_run_shard, shards)
+        except PoolBrokenError as exc:
+            results = exc.completed
+            for idx in exc.pending:
+                pe, l2 = self._fallback.predict_indices(shards[idx][1])
+                results[idx] = (idx, pe, l2)
+        for idx, pe, l2 in results.values():
             sl = slice(offsets[idx], offsets[idx + 1])
             pe_idx[sl], l2_idx[sl] = pe, l2
         return pe_idx, l2_idx, len(shards)
@@ -374,7 +427,7 @@ class ShardedSweepExecutor:
             if len(inputs) >= 2 * self.min_shard_size else None
         if pool is None:
             return self._fallback.predict_indices(inputs)
-        pe_idx, l2_idx, _ = self._run_pooled(pool, inputs, None)
+        pe_idx, l2_idx, _ = self._run_pooled(inputs, None)
         return pe_idx, l2_idx
 
     def _predict_autoscaled(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -392,7 +445,7 @@ class ShardedSweepExecutor:
             record.update(pooled=False, num_shards=1)
         else:
             pe_idx, l2_idx, num_shards = self._run_pooled(
-                pool, inputs, decision.shard_size)
+                inputs, decision.shard_size)
             elapsed = time.perf_counter() - start
             # Actual parallelism is bounded by the pool, not the plan:
             # the pool has num_workers processes and every shard can land

@@ -12,8 +12,9 @@ for resumable checkpoints, early stopping and throughput statistics.
 from .callbacks import (Callback, Checkpointer, EarlyStopping,
                         ExecutionMonitor, ProfilerCallback,
                         ThroughputMonitor)
-from .checkpoint import (CheckpointMismatchError, checkpoint_exists,
-                         load_checkpoint, save_checkpoint)
+from .checkpoint import (CheckpointCorruptError, CheckpointMismatchError,
+                         checkpoint_exists, load_checkpoint,
+                         previous_checkpoint_path, save_checkpoint)
 from .loop import OptimSpec, StepContext, TrainLoop, TrainTask
 
 __all__ = [
@@ -21,5 +22,6 @@ __all__ = [
     "Callback", "Checkpointer", "EarlyStopping", "ExecutionMonitor",
     "ThroughputMonitor", "ProfilerCallback",
     "save_checkpoint", "load_checkpoint", "checkpoint_exists",
-    "CheckpointMismatchError",
+    "previous_checkpoint_path",
+    "CheckpointMismatchError", "CheckpointCorruptError",
 ]

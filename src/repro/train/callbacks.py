@@ -16,9 +16,10 @@ Four stock callbacks cover the runtime's side channels:
 from __future__ import annotations
 
 import math
+import os
 
 from ..obs import PhaseProfiler
-from .checkpoint import save_checkpoint
+from .checkpoint import _normalise, previous_checkpoint_path, save_checkpoint
 
 __all__ = ["Callback", "Checkpointer", "EarlyStopping", "ExecutionMonitor",
            "ThroughputMonitor", "ProfilerCallback"]
@@ -59,10 +60,17 @@ class Checkpointer(Callback):
     carries the task fingerprint plus the latest history entry as
     metrics, so in-flight training runs are discoverable (and servable)
     through the same registry as finished ones.
+
+    With ``keep_previous`` (the default), the outgoing checkpoint is
+    rotated to ``<path>.prev.npz`` before each save: the write itself is
+    atomic, but a kill *after* the replace can still tear the new file
+    on disk, and the last-good generation is what
+    :meth:`~repro.train.TrainLoop.fit` rolls back to (re-running the
+    missing epochs bit-identically) instead of restarting from scratch.
     """
 
     def __init__(self, path, every: int = 1, registry=None,
-                 model_id: str | None = None):
+                 model_id: str | None = None, keep_previous: bool = True):
         if every < 1:
             raise ValueError("checkpoint interval must be >= 1")
         if (registry is None) != (model_id is None):
@@ -71,11 +79,16 @@ class Checkpointer(Callback):
         self.every = every
         self.registry = registry
         self.model_id = model_id
+        self.keep_previous = keep_previous
         self.saves = 0
 
     def on_epoch_end(self, loop) -> None:
         done = loop.epoch + 1
         if done % self.every == 0 or done == loop.task.epochs:
+            if self.keep_previous:
+                current = _normalise(self.path)
+                if os.path.exists(current):
+                    os.replace(current, previous_checkpoint_path(current))
             save_checkpoint(self.path, loop)
             if self.registry is not None:
                 task = loop.task

@@ -17,7 +17,16 @@ training run.  Writes go through the shared
 :func:`repro.registry.atomic_savez` (temp file + ``os.replace``), so an
 interrupt mid-save leaves the previous snapshot intact.  The archive
 format itself is unchanged from the pre-registry writer — old
-checkpoints resume bit-identically.
+checkpoints resume bit-identically (they simply predate the embedded
+content checksum, which is then skipped).
+
+Loads are *verified*: the archive's embedded checksum is checked before
+any state is applied, and a torn or bit-rotted checkpoint raises
+:class:`CheckpointCorruptError` (a :class:`CheckpointMismatchError`)
+after the damaged file is quarantined to ``<path>.corrupt`` — the
+:class:`~repro.train.TrainLoop` resume path then rolls back to the
+previous good generation kept by :class:`~repro.train.Checkpointer`
+(``<path>.prev.npz``), or restarts fresh when none survives.
 """
 
 from __future__ import annotations
@@ -27,10 +36,12 @@ import os
 
 import numpy as np
 
-from ..registry.storage import atomic_savez
+from ..registry.storage import (CorruptArtifactError, atomic_savez,
+                                quarantine_artifact, read_verified)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_exists",
-           "CheckpointMismatchError"]
+           "previous_checkpoint_path", "CheckpointMismatchError",
+           "CheckpointCorruptError"]
 
 _META_KEY = "__checkpoint__"
 FORMAT_VERSION = 1
@@ -38,6 +49,10 @@ FORMAT_VERSION = 1
 
 class CheckpointMismatchError(ValueError):
     """The checkpoint on disk belongs to a different training run."""
+
+
+class CheckpointCorruptError(CheckpointMismatchError):
+    """The checkpoint on disk is torn or bit-rotted (and was quarantined)."""
 
 
 def _normalise(path) -> str:
@@ -49,6 +64,12 @@ def _normalise(path) -> str:
 
 def checkpoint_exists(path) -> bool:
     return os.path.exists(_normalise(path))
+
+
+def previous_checkpoint_path(path) -> str:
+    """The rolled-over last-good generation kept beside a checkpoint."""
+    path = _normalise(path)
+    return path[:-len(".npz")] + ".prev.npz"
 
 
 def _task_fingerprint(loop) -> dict:
@@ -91,57 +112,77 @@ def save_checkpoint(path, loop) -> str:
 
 
 def load_checkpoint(path, loop) -> None:
-    """Restore a snapshot into ``loop`` (model, optimisers, rng, history)."""
+    """Restore a snapshot into ``loop`` (model, optimisers, rng, history).
+
+    The archive is read eagerly and checksum-verified *before* any loop
+    state is touched, so a torn/garbage file can never half-apply: it
+    raises :class:`CheckpointCorruptError` (with the damaged file
+    quarantined to ``<path>.corrupt``) and the loop is exactly as it was.
+    """
     path = _normalise(path)
-    with np.load(path) as archive:
-        if _META_KEY not in archive.files:
+    try:
+        arrays = read_verified(path)
+        if _META_KEY not in arrays:
             raise CheckpointMismatchError(f"{path} is not a training "
                                           f"checkpoint (no metadata)")
-        meta = json.loads(str(archive[_META_KEY][()]))
-        if meta.get("format") != FORMAT_VERSION:
-            raise CheckpointMismatchError(
-                f"{path}: unsupported checkpoint format {meta.get('format')}")
-        expected = _task_fingerprint(loop)
-        if meta["fingerprint"] != expected:
-            raise CheckpointMismatchError(
-                f"{path} belongs to a different run: "
-                f"{meta['fingerprint']} != {expected}")
+        meta = json.loads(str(arrays[_META_KEY][()]))
+    except FileNotFoundError:
+        raise
+    except CorruptArtifactError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is corrupt: {exc.reason}; the file was "
+            f"quarantined"
+            + (f" to {exc.quarantined_to}" if exc.quarantined_to else "")
+            + " — resume will fall back to the previous good generation "
+              "or restart") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} has unreadable metadata ({exc}); "
+            f"quarantined to {quarantine_artifact(path)}") from exc
+    if meta.get("format") != FORMAT_VERSION:
+        raise CheckpointMismatchError(
+            f"{path}: unsupported checkpoint format {meta.get('format')}")
+    expected = _task_fingerprint(loop)
+    if meta["fingerprint"] != expected:
+        raise CheckpointMismatchError(
+            f"{path} belongs to a different run: "
+            f"{meta['fingerprint']} != {expected}")
 
-        model_state = {name[len("model."):]: archive[name]
-                       for name in archive.files if name.startswith("model.")}
-        loop.task.model.load_state_dict(model_state)
+    model_state = {name[len("model."):]: arrays[name]
+                   for name in arrays if name.startswith("model.")}
+    loop.task.model.load_state_dict(model_state)
 
-        for name, opt in loop.optimizers.items():
-            slot = dict(meta["optimizers"][name])
-            opt.lr = float(slot.pop("lr"))
-            prefix = f"opt.{name}."
-            lists: dict[str, dict[int, np.ndarray]] = {}
-            for key in archive.files:
-                if not key.startswith(prefix):
-                    continue
-                stem, idx = key[len(prefix):].rsplit(".", 1)
-                lists.setdefault(stem, {})[int(idx)] = archive[key]
-            for stem, items in lists.items():
-                slot[stem] = [items[i] for i in range(len(items))]
-            opt.load_state_dict(slot)
-        for name, sched in loop.schedulers.items():
-            sched.epoch = int(meta["schedulers"].get(name, 0))
-
-        loop.rng.bit_generator.state = meta["rng_state"]
-        loop.history = {key: list(values)
-                        for key, values in meta["history"].items()}
-        loop.start_epoch = int(meta["epoch_next"])
-        loop.task.load_extra_state(meta.get("task_state", {}))
-
-        # Restore stateful callbacks (e.g. EarlyStopping's patience
-        # counters) by class name, in order, so resumed runs make the same
-        # decisions as uninterrupted ones.
-        unmatched = list(loop.active_callbacks)
-        for entry in meta.get("callbacks", []):
-            if not entry["state"]:
+    for name, opt in loop.optimizers.items():
+        slot = dict(meta["optimizers"][name])
+        opt.lr = float(slot.pop("lr"))
+        prefix = f"opt.{name}."
+        lists: dict[str, dict[int, np.ndarray]] = {}
+        for key in arrays:
+            if not key.startswith(prefix):
                 continue
-            for i, cb in enumerate(unmatched):
-                if type(cb).__name__ == entry["class"]:
-                    cb.load_state_dict(entry["state"])
-                    del unmatched[i]
-                    break
+            stem, idx = key[len(prefix):].rsplit(".", 1)
+            lists.setdefault(stem, {})[int(idx)] = arrays[key]
+        for stem, items in lists.items():
+            slot[stem] = [items[i] for i in range(len(items))]
+        opt.load_state_dict(slot)
+    for name, sched in loop.schedulers.items():
+        sched.epoch = int(meta["schedulers"].get(name, 0))
+
+    loop.rng.bit_generator.state = meta["rng_state"]
+    loop.history = {key: list(values)
+                    for key, values in meta["history"].items()}
+    loop.start_epoch = int(meta["epoch_next"])
+    loop.task.load_extra_state(meta.get("task_state", {}))
+
+    # Restore stateful callbacks (e.g. EarlyStopping's patience
+    # counters) by class name, in order, so resumed runs make the same
+    # decisions as uninterrupted ones.
+    unmatched = list(loop.active_callbacks)
+    for entry in meta.get("callbacks", []):
+        if not entry["state"]:
+            continue
+        for i, cb in enumerate(unmatched):
+            if type(cb).__name__ == entry["class"]:
+                cb.load_state_dict(entry["state"])
+                del unmatched[i]
+                break

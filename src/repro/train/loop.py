@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -199,7 +200,8 @@ class TrainLoop:
     def fit(self, verbose: bool = False, checkpoint_path=None,
             checkpoint_every: int = 1, resume: bool = True) -> dict:
         from .callbacks import Checkpointer
-        from .checkpoint import checkpoint_exists, load_checkpoint
+        from .checkpoint import (CheckpointCorruptError, checkpoint_exists,
+                                 load_checkpoint, previous_checkpoint_path)
 
         task = self.task
         callbacks = list(self.callbacks)
@@ -227,9 +229,20 @@ class TrainLoop:
         self.start_epoch = 0
         self.should_stop = False
         self.active_callbacks = callbacks
-        if resume and checkpoint_path is not None \
-                and checkpoint_exists(checkpoint_path):
-            load_checkpoint(checkpoint_path, self)
+        if resume and checkpoint_path is not None:
+            # Newest generation first, then the Checkpointer's rolled-over
+            # last-good one.  A corrupt candidate was already quarantined
+            # by the loader; falling through to an older generation just
+            # re-runs the missing epochs — bit-identical by construction.
+            for candidate in (checkpoint_path,
+                              previous_checkpoint_path(checkpoint_path)):
+                if not checkpoint_exists(candidate):
+                    continue
+                try:
+                    load_checkpoint(candidate, self)
+                    break
+                except CheckpointCorruptError as exc:
+                    warnings.warn(f"{exc}", RuntimeWarning, stacklevel=2)
 
         step = StepContext(self.optimizers, self._specs)
         for cb in callbacks:

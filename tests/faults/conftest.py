@@ -1,0 +1,53 @@
+"""Chaos-suite fixtures: per-test deadlines and a tiny serving model.
+
+The suite kills real pool workers and truncates real archives, so every
+test gets a hard SIGALRM deadline — a recovery path that deadlocks must
+fail the test, not hang CI.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import AirchitectV2, ModelConfig
+
+_TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _chaos_test_timeout(request):
+    if not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(f"chaos test exceeded the {_TEST_TIMEOUT_S}s per-test "
+                    f"timeout (recovery path likely deadlocked)",
+                    pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_arming():
+    """No test may leave a fault registry armed for the next one."""
+    yield
+    assert faults.active() is None, "a test leaked an armed FaultRegistry"
+
+
+@pytest.fixture(scope="session")
+def tiny_model(problem) -> AirchitectV2:
+    config = ModelConfig(d_model=16, n_layers=1, n_heads=2, embed_dim=8)
+    return AirchitectV2(config, problem, np.random.default_rng(2024))

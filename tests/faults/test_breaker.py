@@ -1,0 +1,125 @@
+"""CircuitBreaker state machine under a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import STATE_CODES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset=10.0, **kw):
+    return CircuitBreaker(failure_threshold=threshold, reset_timeout_s=reset,
+                          clock=clock, **kw)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make(clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker = make(clock, threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make(clock, threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_admits_one_probe_after_the_timeout(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()              # the half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()          # second caller is refused
+
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock, threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = make(clock, threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert not breaker.allow()
+
+    def test_neutral_releases_the_probe_without_moving_state(self, clock):
+        breaker = make(clock, threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_neutral()            # e.g. the probe answered 400
+        assert breaker.state == "half_open"
+        assert breaker.allow()              # slot is free for a real probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestSurface:
+    def test_retry_after_counts_down(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        assert breaker.retry_after_s() == 0.0
+        breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.retry_after_s() == pytest.approx(6.0)
+
+    def test_state_codes(self, clock):
+        breaker = make(clock, threshold=1, reset=1.0)
+        assert breaker.state_code == STATE_CODES["closed"] == 0
+        breaker.record_failure()
+        assert breaker.state_code == STATE_CODES["open"] == 2
+        clock.advance(2.0)
+        breaker.allow()
+        assert breaker.state_code == STATE_CODES["half_open"] == 1
+
+    def test_on_transition_callback(self, clock):
+        seen = []
+        breaker = make(clock, threshold=1, reset=1.0, on_transition=seen.append)
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == ["open", "half_open", "closed"]
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)

@@ -1,0 +1,124 @@
+"""The fault-injection registry itself: arming, budgets, env round-trip."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultRegistry, inject_faults
+from repro.faults.injection import _ENV_VAR, arm_from_env
+
+
+class TestArming:
+    def test_disarmed_fire_returns_none(self):
+        assert faults.active() is None
+        assert faults.fire("pool.worker_crash") is None
+
+    def test_unknown_point_rejected_at_arm_time(self):
+        with pytest.raises(ValueError, match="unknown fault injection"):
+            FaultRegistry({"pool.worker_crsh": 1})
+
+    def test_context_manager_arms_and_restores(self):
+        assert faults.active() is None
+        with inject_faults({"engine.transient_error": 1}) as registry:
+            assert faults.active() is registry
+            assert os.environ.get(_ENV_VAR) == registry.to_env()
+        assert faults.active() is None
+        assert _ENV_VAR not in os.environ
+
+    def test_nested_arming_restores_the_outer_registry(self):
+        with inject_faults({"engine.transient_error": 1}) as outer:
+            with inject_faults({"pool.shard_hang": 2}) as inner:
+                assert faults.active() is inner
+            assert faults.active() is outer
+
+
+class TestBudgets:
+    def test_counted_budget_fires_exactly_n_times(self):
+        with inject_faults({"engine.transient_error": 2}):
+            assert faults.fire("engine.transient_error") is not None
+            assert faults.fire("engine.transient_error") is not None
+            assert faults.fire("engine.transient_error") is None
+            assert faults.fire("engine.transient_error") is None
+
+    def test_negative_budget_is_unlimited(self):
+        with inject_faults({"engine.transient_error": -1}) as registry:
+            for _ in range(10):
+                assert faults.fire("engine.transient_error") is not None
+        assert registry.snapshot()["engine.transient_error"]["fired"] == 10
+
+    def test_unarmed_point_never_fires_while_armed(self):
+        with inject_faults({"engine.transient_error": 1}):
+            assert faults.fire("pool.worker_crash") is None
+
+    def test_options_ride_along(self):
+        spec = {"pool.shard_hang": {"times": 1, "hang_s": 7.5}}
+        with inject_faults(spec):
+            hit = faults.fire("pool.shard_hang")
+        assert hit == {"hang_s": 7.5}
+
+    def test_probability_zero_never_fires(self):
+        with inject_faults({"engine.transient_error":
+                            {"times": -1, "p": 0.0}}):
+            assert all(faults.fire("engine.transient_error") is None
+                       for _ in range(50))
+
+    def test_probabilistic_fires_are_seed_deterministic(self):
+        def draw(seed):
+            with inject_faults({"engine.transient_error":
+                                {"times": -1, "p": 0.5}}, seed=seed):
+                return [faults.fire("engine.transient_error") is not None
+                        for _ in range(64)]
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+    def test_snapshot_accounting(self):
+        with inject_faults({"engine.transient_error": 3}) as registry:
+            faults.fire("engine.transient_error")
+            snap = registry.snapshot()["engine.transient_error"]
+        assert snap == {"remaining": 2, "fired": 1}
+
+
+class TestEnvRoundTrip:
+    def test_to_env_from_text_round_trip(self):
+        registry = FaultRegistry(
+            {"pool.shard_hang": {"times": 2, "hang_s": 3.0}}, seed=11)
+        clone = FaultRegistry.from_text(registry.to_env())
+        assert clone.seed == 11
+        assert clone.fire("pool.shard_hang") == {"hang_s": 3.0}
+
+    def test_compact_form(self):
+        registry = FaultRegistry.from_text(
+            "pool.worker_crash=1:exit_code=9, engine.transient_error=2")
+        assert registry.fire("pool.worker_crash") == {"exit_code": 9.0}
+        assert registry.fire("pool.worker_crash") is None
+        assert registry.fire("engine.transient_error") is not None
+
+    def test_bare_json_mapping(self):
+        registry = FaultRegistry.from_text('{"engine.transient_error": 1}')
+        assert registry.fire("engine.transient_error") is not None
+
+    def test_arm_from_env_warns_on_garbage(self, monkeypatch):
+        monkeypatch.setenv(_ENV_VAR, "not.a.point=1")
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert arm_from_env() is None
+        monkeypatch.delenv(_ENV_VAR)
+        arm_from_env()
+
+    def test_arm_from_env_unset_is_noop(self, monkeypatch):
+        monkeypatch.delenv(_ENV_VAR, raising=False)
+        assert arm_from_env() is None
+
+
+class TestMetrics:
+    def test_attach_metrics_publishes_gauges(self):
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        with inject_faults({"engine.transient_error": 2}) as registry:
+            registry.attach_metrics(metrics)
+            faults.fire("engine.transient_error")
+            text = metrics.render()
+        assert 'repro_fault_armed{point="engine.transient_error"} 1' in text
+        assert 'repro_fault_fired{point="engine.transient_error"} 1' in text

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import BatchedDSEPredictor
+from repro.faults import RetryPolicy
 from repro.serving import AutoscalePolicy, ShardedSweepExecutor
 from repro.serving import sharded as sharded_mod
 
@@ -221,16 +222,22 @@ class TestFailurePaths:
         ex.close()
 
     @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
-    def test_worker_crash_surfaces_in_parent(self, serve_model, problem, rng,
-                                             monkeypatch):
-        """A shard blowing up in a worker raises in the caller, and the
-        executor still closes cleanly afterwards."""
+    def test_worker_crash_recovers_in_process(self, serve_model, problem,
+                                              rng, monkeypatch):
+        """A shard blowing up in every worker no longer raises: the
+        supervisor retries on rebuilt pools, then degrades to in-process
+        execution with bit-identical results."""
         monkeypatch.setattr(sharded_mod, "_run_shard", _exploding_shard)
+        inputs = problem.sample_inputs(200, rng)
+        expected = BatchedDSEPredictor(serve_model).predict_indices(inputs)
         with ShardedSweepExecutor(serve_model, num_workers=2,
-                                  min_shard_size=32,
-                                  mp_context="fork") as ex:
-            with pytest.raises(RuntimeError, match="exploded"):
-                ex.predict_indices(problem.sample_inputs(200, rng))
+                                  min_shard_size=32, mp_context="fork",
+                                  retry=RetryPolicy(max_rebuilds=1,
+                                                    backoff_base_s=0.0)) as ex:
+            pe_idx, l2_idx = ex.predict_indices(inputs)
+            assert ex._supervisor.degraded
+        np.testing.assert_array_equal(pe_idx, expected[0])
+        np.testing.assert_array_equal(l2_idx, expected[1])
         assert ex._pool is None         # context exit cleaned up regardless
 
     @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
